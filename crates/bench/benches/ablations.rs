@@ -1,0 +1,78 @@
+//! Ablation benches: sweep the design knobs DESIGN.md calls out and time
+//! the governed simulation under each setting. Each bench prints its
+//! outcome table (saved power / quality / drops per configuration) once
+//! before timing.
+//!
+//! Run with `cargo bench -p ccdem-bench --bench ablations`.
+
+use ccdem_experiments::ablation::{
+    boost_hold_sweep, control_window_sweep, down_dwell_sweep, grid_budget_sweep,
+    mapper_rule_compare, psr_sweep, smoothing_sweep, AblationConfig,
+};
+use ccdem_simkit::time::SimDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn cfg() -> AblationConfig {
+    AblationConfig {
+        duration: SimDuration::from_secs(10),
+        seed: 77,
+    }
+}
+
+fn bench_control_window(c: &mut Criterion) {
+    let a = control_window_sweep(&cfg());
+    println!("\n{a}");
+    c.bench_function("ablation/control_window_sweep", |b| {
+        b.iter(|| control_window_sweep(&cfg()))
+    });
+}
+
+fn bench_grid_budget(c: &mut Criterion) {
+    let a = grid_budget_sweep(&cfg());
+    println!("\n{a}");
+    c.bench_function("ablation/grid_budget_sweep", |b| {
+        b.iter(|| grid_budget_sweep(&cfg()))
+    });
+}
+
+fn bench_boost_hold(c: &mut Criterion) {
+    let a = boost_hold_sweep(&cfg());
+    println!("\n{a}");
+    c.bench_function("ablation/boost_hold_sweep", |b| {
+        b.iter(|| boost_hold_sweep(&cfg()))
+    });
+}
+
+fn bench_mapper_rule(c: &mut Criterion) {
+    let a = mapper_rule_compare(&cfg());
+    println!("\n{a}");
+    c.bench_function("ablation/mapper_rule_compare", |b| {
+        b.iter(|| mapper_rule_compare(&cfg()))
+    });
+}
+
+fn bench_smoothing(c: &mut Criterion) {
+    let a = smoothing_sweep(&cfg());
+    println!("\n{a}");
+    c.bench_function("ablation/smoothing_sweep", |b| b.iter(|| smoothing_sweep(&cfg())));
+}
+
+fn bench_down_dwell(c: &mut Criterion) {
+    let a = down_dwell_sweep(&cfg());
+    println!("\n{a}");
+    c.bench_function("ablation/down_dwell_sweep", |b| b.iter(|| down_dwell_sweep(&cfg())));
+}
+
+fn bench_psr(c: &mut Criterion) {
+    let a = psr_sweep(&cfg());
+    println!("\n{a}");
+    c.bench_function("ablation/psr_sweep", |b| b.iter(|| psr_sweep(&cfg())));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_control_window, bench_grid_budget, bench_boost_hold, bench_mapper_rule,
+              bench_smoothing, bench_down_dwell, bench_psr
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Figure 6 (right axis): wall-clock cost of one content-rate metering
+//! step vs the number of compared pixels.
+//!
+//! The paper's claim: at 9K–36K pixels the comparison is effectively
+//! free, while comparing all 921K pixels blows the 16.67 ms frame budget
+//! (on 2012 phone silicon). On a modern host the absolute numbers are
+//! far smaller, but the growth with pixel count — and the full scan
+//! costing orders of magnitude more than the 9K grid — reproduces.
+//!
+//! Run with `cargo bench -p ccdem-bench --bench fig6_metering_cost`.
+
+use ccdem_pixelbuf::buffer::FrameBuffer;
+use ccdem_pixelbuf::geometry::Resolution;
+use ccdem_pixelbuf::grid::GridSampler;
+use ccdem_pixelbuf::pixel::Pixel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_compare(c: &mut Criterion) {
+    let resolution = Resolution::GALAXY_S3;
+    let mut group = c.benchmark_group("fig6/compare");
+    for budget in [2_304usize, 4_080, 9_216, 36_864, 921_600] {
+        let sampler = GridSampler::for_pixel_budget(resolution, budget);
+        let fb = FrameBuffer::new(resolution);
+        let snapshot = sampler.sample(&fb);
+        group.throughput(Throughput::Elements(sampler.sample_count() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sampler.sample_count()),
+            &budget,
+            |b, _| {
+                b.iter(|| sampler.differs(std::hint::black_box(&fb), &snapshot));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_capture(c: &mut Criterion) {
+    // The snapshot (double-buffer) side of the meter step.
+    let resolution = Resolution::GALAXY_S3;
+    let mut group = c.benchmark_group("fig6/capture");
+    for budget in [2_304usize, 9_216, 36_864, 921_600] {
+        let sampler = GridSampler::for_pixel_budget(resolution, budget);
+        let mut fb = FrameBuffer::new(resolution);
+        fb.fill(Pixel::grey(80));
+        let mut scratch = sampler.sample(&fb);
+        group.throughput(Throughput::Elements(sampler.sample_count() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sampler.sample_count()),
+            &budget,
+            |b, _| {
+                b.iter(|| sampler.sample_into(std::hint::black_box(&fb), &mut scratch));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_worst_case_redundant(c: &mut Criterion) {
+    // A redundant frame pays the full scan (no early exit); this is the
+    // meter's steady-state cost on idle apps.
+    let resolution = Resolution::GALAXY_S3;
+    let sampler = GridSampler::for_pixel_budget(resolution, 9_216);
+    let fb = FrameBuffer::new(resolution);
+    let snapshot = sampler.sample(&fb);
+    c.bench_function("fig6/redundant_frame_9k_full_scan", |b| {
+        b.iter(|| {
+            let differs = sampler.differs(std::hint::black_box(&fb), &snapshot);
+            assert!(!differs);
+            differs
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_compare,
+    bench_capture,
+    bench_worst_case_redundant
+);
+criterion_main!(benches);

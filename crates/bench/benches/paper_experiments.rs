@@ -1,0 +1,116 @@
+//! One bench target per paper figure/table: regenerates each experiment
+//! (at a reduced, fixed configuration) and times the regeneration.
+//!
+//! The numbers each experiment *produces* are printed once at the start
+//! of its bench (Criterion benches run the closure many times; the
+//! printout happens on a separate warm-up invocation), so `cargo bench
+//! --bench paper_experiments` both regenerates the paper's evaluation
+//! and reports how long each piece takes to simulate.
+
+use ccdem_experiments::{fig2, fig3, fig6, fig7, fig8, sweep};
+use ccdem_simkit::time::SimDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn quick_duration() -> SimDuration {
+    SimDuration::from_secs(15)
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let cfg = fig2::Fig2Config {
+        duration: quick_duration(),
+        quarter_resolution: true,
+        ..Default::default()
+    };
+    let fig = fig2::run(&cfg);
+    println!(
+        "\n[fig2] Facebook mean frame rate {:.1} fps, Jelly Splash {:.1} fps",
+        fig.facebook.frame_rate.iter().sum::<f64>() / fig.facebook.frame_rate.len() as f64,
+        fig.jelly_splash.frame_rate.iter().sum::<f64>()
+            / fig.jelly_splash.frame_rate.len() as f64,
+    );
+    c.bench_function("paper/fig2_traces", |b| b.iter(|| fig2::run(&cfg)));
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let cfg = fig3::Fig3Config {
+        duration: SimDuration::from_secs(8),
+        quarter_resolution: true,
+        ..Default::default()
+    };
+    let fig = fig3::run(&cfg);
+    println!(
+        "\n[fig3] games >20 redundant fps: {:.0}%, general: {:.0}%",
+        fig.fraction_redundant_above(ccdem_workloads::app::AppClass::Game, 20.0) * 100.0,
+        fig.fraction_redundant_above(ccdem_workloads::app::AppClass::General, 20.0) * 100.0,
+    );
+    c.bench_function("paper/fig3_redundancy_sweep", |b| b.iter(|| fig3::run(&cfg)));
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let cfg = fig6::Fig6Config {
+        frames: 120,
+        timing_iterations: 5,
+        ..Default::default()
+    };
+    let fig = fig6::run(&cfg);
+    for p in &fig.points {
+        println!(
+            "[fig6] {:>7} px: error {:>5.1}%, {:>9.1} µs",
+            p.pixels,
+            p.error_pct,
+            p.duration.as_secs_f64() * 1e6
+        );
+    }
+    c.bench_function("paper/fig6_accuracy_and_cost", |b| b.iter(|| fig6::run(&cfg)));
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let cfg = fig7::Fig7Config {
+        duration: quick_duration(),
+        quarter_resolution: true,
+        ..Default::default()
+    };
+    let fig = fig7::run(&cfg);
+    println!(
+        "\n[fig7] dropped frames — section: {:.0}, +boost: {:.0}",
+        fig.facebook_section.total_dropped + fig.jelly_section.total_dropped,
+        fig.facebook_boost.total_dropped + fig.jelly_boost.total_dropped,
+    );
+    c.bench_function("paper/fig7_control_traces", |b| b.iter(|| fig7::run(&cfg)));
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let cfg = fig8::Fig8Config {
+        duration: quick_duration(),
+        quarter_resolution: true,
+        ..Default::default()
+    };
+    let fig = fig8::run(&cfg);
+    println!(
+        "\n[fig8] saved — Facebook {:.0} mW, Jelly Splash {:.0} mW (section-only)",
+        fig.facebook[0].saved.mean, fig.jelly_splash[0].saved.mean,
+    );
+    c.bench_function("paper/fig8_power_traces", |b| b.iter(|| fig8::run(&cfg)));
+}
+
+fn bench_sweep_figs(c: &mut Criterion) {
+    // Figs. 9–11 and Table 1 all derive from the 30-app sweep; bench the
+    // sweep once and print each view.
+    let cfg = sweep::SweepConfig {
+        duration: SimDuration::from_secs(6),
+        quarter_resolution: true,
+        ..Default::default()
+    };
+    let s = sweep::run(&cfg);
+    println!("\n[fig9/fig10/fig11/table1]\n{}", s.table1_text());
+    c.bench_function("paper/fig9_10_11_table1_sweep", |b| {
+        b.iter(|| sweep::run(&cfg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2, bench_fig3, bench_fig6, bench_fig7, bench_fig8, bench_sweep_figs
+}
+criterion_main!(benches);

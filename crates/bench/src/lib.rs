@@ -1,0 +1,15 @@
+//! # ccdem-bench
+//!
+//! Criterion benchmark harness for the `ccdem` reproduction. The crate
+//! has no library code of its own; everything lives in `benches/`:
+//!
+//! * `fig6_metering_cost` — Fig. 6's run-time axis: grid comparison cost
+//!   at the paper's five pixel budgets.
+//! * `micro_core` — per-frame/per-window hot paths (meter observation,
+//!   section lookup, compose, double-buffer capture).
+//! * `paper_experiments` — one bench per paper figure/table, printing
+//!   the regenerated numbers and timing the regeneration.
+//! * `ablations` — design-knob sweeps (control window, grid budget,
+//!   boost hold, mapping rule) with outcome tables.
+//!
+//! Run everything with `cargo bench -p ccdem-bench`.

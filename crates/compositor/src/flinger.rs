@@ -1,0 +1,384 @@
+//! The surface manager ("SurfaceFlinger").
+//!
+//! Applications submit frames whenever they like; the compositor latches
+//! pending submissions and performs at most one framebuffer update per
+//! V-Sync edge. That latching is V-Sync throttling: it is what caps the
+//! frame rate at the refresh rate (paper §2.1), and what makes the content
+//! rate unobservable above the refresh rate (paper §3.2) — the feedback
+//! the section table is designed around.
+
+use std::fmt;
+
+use ccdem_pixelbuf::buffer::FrameBuffer;
+use ccdem_pixelbuf::geometry::Resolution;
+use ccdem_simkit::time::SimTime;
+
+use crate::stats::FrameStats;
+use crate::surface::{Surface, SurfaceId};
+
+/// Error returned for operations on an unknown surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownSurfaceError {
+    /// The id that was not found.
+    pub id: SurfaceId,
+}
+
+impl fmt::Display for UnknownSurfaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown {}", self.id)
+    }
+}
+
+impl std::error::Error for UnknownSurfaceError {}
+
+/// The result of one V-Sync composition opportunity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComposeOutcome {
+    /// No submissions were pending; the framebuffer was left untouched.
+    Idle,
+    /// Pending submissions were composed into the framebuffer.
+    Composed {
+        /// Whether any coalesced submission carried changed content.
+        content_changed: bool,
+        /// How many submissions were coalesced into this frame.
+        coalesced: usize,
+    },
+}
+
+/// The surface manager: owns the surfaces and the hardware framebuffer,
+/// latches submissions and composes on V-Sync.
+///
+/// # Examples
+///
+/// ```
+/// use ccdem_compositor::flinger::{ComposeOutcome, SurfaceFlinger};
+/// use ccdem_pixelbuf::geometry::Resolution;
+/// use ccdem_pixelbuf::pixel::Pixel;
+/// use ccdem_simkit::time::SimTime;
+///
+/// let mut sf = SurfaceFlinger::new(Resolution::new(8, 8));
+/// let app = sf.create_surface("demo app");
+///
+/// // The app draws and submits a frame…
+/// sf.surface_mut(app)?.buffer_mut().fill(Pixel::WHITE);
+/// sf.submit(app, SimTime::from_millis(5), true)?;
+///
+/// // …which reaches the framebuffer at the next V-Sync edge.
+/// let outcome = sf.compose(SimTime::from_millis(16));
+/// assert!(matches!(outcome, ComposeOutcome::Composed { content_changed: true, .. }));
+/// assert_eq!(sf.framebuffer().pixel(0, 0), Pixel::WHITE);
+/// # Ok::<(), ccdem_compositor::flinger::UnknownSurfaceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SurfaceFlinger {
+    resolution: Resolution,
+    surfaces: Vec<Surface>,
+    framebuffer: FrameBuffer,
+    pending: usize,
+    pending_content: bool,
+    stats: FrameStats,
+}
+
+impl SurfaceFlinger {
+    /// Creates a compositor with an empty surface list and a black
+    /// framebuffer.
+    pub fn new(resolution: Resolution) -> SurfaceFlinger {
+        SurfaceFlinger {
+            resolution,
+            surfaces: Vec::new(),
+            framebuffer: FrameBuffer::new(resolution),
+            pending: 0,
+            pending_content: false,
+            stats: FrameStats::new(),
+        }
+    }
+
+    /// The screen resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Creates a new full-screen surface and returns its id.
+    pub fn create_surface(&mut self, label: impl Into<String>) -> SurfaceId {
+        let id = SurfaceId::new(self.surfaces.len());
+        self.surfaces.push(Surface::new(id, label, self.resolution));
+        id
+    }
+
+    /// Shared access to a surface.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownSurfaceError`] if `id` was not created here.
+    pub fn surface(&self, id: SurfaceId) -> Result<&Surface, UnknownSurfaceError> {
+        self.surfaces
+            .get(id.index())
+            .ok_or(UnknownSurfaceError { id })
+    }
+
+    /// Mutable access to a surface (for the owning app to draw).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownSurfaceError`] if `id` was not created here.
+    pub fn surface_mut(&mut self, id: SurfaceId) -> Result<&mut Surface, UnknownSurfaceError> {
+        self.surfaces
+            .get_mut(id.index())
+            .ok_or(UnknownSurfaceError { id })
+    }
+
+    /// An application hands the compositor a finished frame at `now`.
+    /// `content_changed` is the app's ground truth: did this frame's
+    /// pixels differ from its previous frame? (Commercial apps submit
+    /// plenty of unchanged frames — the paper's *redundant frames*.)
+    ///
+    /// The frame is latched; it reaches the framebuffer at the next
+    /// [`compose`](Self::compose) call. Multiple submissions between
+    /// edges coalesce into one composition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownSurfaceError`] if `id` was not created here.
+    pub fn submit(
+        &mut self,
+        id: SurfaceId,
+        now: SimTime,
+        content_changed: bool,
+    ) -> Result<(), UnknownSurfaceError> {
+        let _ = self.surface(id)?;
+        self.pending += 1;
+        self.pending_content |= content_changed;
+        self.stats.record_submission(now, content_changed);
+        Ok(())
+    }
+
+    /// One V-Sync composition opportunity at `now`. If any submissions
+    /// are pending, composes all visible surfaces into the framebuffer
+    /// (one framebuffer write, regardless of how many submissions
+    /// coalesced) and clears the latch.
+    pub fn compose(&mut self, now: SimTime) -> ComposeOutcome {
+        if self.pending == 0 {
+            return ComposeOutcome::Idle;
+        }
+        let coalesced = self.pending;
+        let content_changed = self.pending_content;
+        self.pending = 0;
+        self.pending_content = false;
+
+        if content_changed {
+            self.blit_surfaces();
+        } else {
+            // Redundant frame: the hardware still writes the framebuffer,
+            // but the pixels are identical, so skip the copy and record
+            // the write via the generation counter alone.
+            self.framebuffer.touch();
+        }
+        self.stats.record_compose(now, content_changed);
+        ComposeOutcome::Composed {
+            content_changed,
+            coalesced,
+        }
+    }
+
+    /// The hardware framebuffer (what the panel scans out and what the
+    /// content-rate meter samples).
+    pub fn framebuffer(&self) -> &FrameBuffer {
+        &self.framebuffer
+    }
+
+    /// Frame accounting.
+    pub fn stats(&self) -> &FrameStats {
+        &self.stats
+    }
+
+    /// Whether a submission is waiting for the next V-Sync.
+    pub fn has_pending(&self) -> bool {
+        self.pending > 0
+    }
+
+    fn blit_surfaces(&mut self) {
+        // Compose in ascending z-order; opaque surfaces copy, translucent
+        // ones blend.
+        let mut order: Vec<usize> = (0..self.surfaces.len())
+            .filter(|&i| self.surfaces[i].is_visible())
+            .collect();
+        order.sort_by_key(|&i| (self.surfaces[i].z_order(), i));
+        let mut first = true;
+        for i in order {
+            let surface = &self.surfaces[i];
+            let bounds = surface.bounds();
+            if surface.is_opaque() {
+                if bounds == self.resolution.bounds() {
+                    self.framebuffer.copy_from(surface.buffer());
+                } else {
+                    self.framebuffer.copy_rect_from(surface.buffer(), bounds);
+                }
+            } else {
+                // Alpha-blend only within the surface's bounds.
+                let src = surface.buffer().as_pixels().to_vec();
+                let w = self.resolution.width as usize;
+                for y in bounds.y..bounds.bottom() {
+                    for x in bounds.x..bounds.right() {
+                        let s = src[(y as usize) * w + x as usize];
+                        let d = self.framebuffer.pixel(x, y);
+                        self.framebuffer.set_pixel(x, y, s.over(d));
+                    }
+                }
+            }
+            first = false;
+        }
+        if first {
+            // No visible surfaces: the write still happens.
+            self.framebuffer.touch();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdem_pixelbuf::pixel::Pixel;
+
+    fn flinger() -> (SurfaceFlinger, SurfaceId) {
+        let mut sf = SurfaceFlinger::new(Resolution::new(4, 4));
+        let id = sf.create_surface("test");
+        (sf, id)
+    }
+
+    #[test]
+    fn idle_vsync_does_nothing() {
+        let (mut sf, _) = flinger();
+        let g = sf.framebuffer().generation();
+        assert_eq!(sf.compose(SimTime::ZERO), ComposeOutcome::Idle);
+        assert_eq!(sf.framebuffer().generation(), g);
+        assert_eq!(sf.stats().composed().count(), 0);
+    }
+
+    #[test]
+    fn submissions_coalesce_into_one_compose() {
+        let (mut sf, id) = flinger();
+        for ms in [1, 5, 9] {
+            sf.submit(id, SimTime::from_millis(ms), false).unwrap();
+        }
+        match sf.compose(SimTime::from_millis(16)) {
+            ComposeOutcome::Composed {
+                content_changed,
+                coalesced,
+            } => {
+                assert!(!content_changed);
+                assert_eq!(coalesced, 3);
+            }
+            other => panic!("expected compose, got {other:?}"),
+        }
+        assert!(!sf.has_pending());
+        assert_eq!(sf.stats().composed().count(), 1);
+        assert_eq!(sf.stats().submissions().count(), 3);
+    }
+
+    #[test]
+    fn content_flag_ors_across_coalesced_frames() {
+        let (mut sf, id) = flinger();
+        sf.submit(id, SimTime::from_millis(1), false).unwrap();
+        sf.submit(id, SimTime::from_millis(2), true).unwrap();
+        match sf.compose(SimTime::from_millis(16)) {
+            ComposeOutcome::Composed {
+                content_changed, ..
+            } => assert!(content_changed),
+            other => panic!("expected compose, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn redundant_frame_bumps_generation_without_pixel_change() {
+        let (mut sf, id) = flinger();
+        sf.surface_mut(id).unwrap().buffer_mut().fill(Pixel::WHITE);
+        sf.submit(id, SimTime::from_millis(1), true).unwrap();
+        sf.compose(SimTime::from_millis(16));
+        let g1 = sf.framebuffer().generation();
+        let px1 = sf.framebuffer().pixel(0, 0);
+
+        sf.submit(id, SimTime::from_millis(20), false).unwrap();
+        sf.compose(SimTime::from_millis(33));
+        assert!(sf.framebuffer().generation() > g1);
+        assert_eq!(sf.framebuffer().pixel(0, 0), px1);
+    }
+
+    #[test]
+    fn hidden_surface_not_composed() {
+        let (mut sf, id) = flinger();
+        sf.surface_mut(id).unwrap().buffer_mut().fill(Pixel::WHITE);
+        sf.surface_mut(id).unwrap().set_visible(false);
+        sf.submit(id, SimTime::from_millis(1), true).unwrap();
+        sf.compose(SimTime::from_millis(16));
+        assert_eq!(sf.framebuffer().pixel(0, 0), Pixel::BLACK);
+    }
+
+    #[test]
+    fn translucent_overlay_blends() {
+        let mut sf = SurfaceFlinger::new(Resolution::new(2, 2));
+        let base = sf.create_surface("base");
+        let overlay = sf.create_surface("overlay");
+        sf.surface_mut(base).unwrap().buffer_mut().fill(Pixel::BLACK);
+        {
+            let s = sf.surface_mut(overlay).unwrap();
+            s.set_z_order(1);
+            s.set_opaque(false);
+            s.buffer_mut().fill(Pixel::rgba(255, 255, 255, 128));
+        }
+        sf.submit(base, SimTime::from_millis(1), true).unwrap();
+        sf.compose(SimTime::from_millis(16));
+        let p = sf.framebuffer().pixel(0, 0);
+        assert!(p.red() > 100 && p.red() < 160, "expected a blend, got {p}");
+    }
+
+    #[test]
+    fn bounded_surface_composes_only_its_region() {
+        use ccdem_pixelbuf::geometry::Rect;
+        let mut sf = SurfaceFlinger::new(Resolution::new(8, 8));
+        let app = sf.create_surface("app");
+        let bar = sf.create_surface("status bar");
+        sf.surface_mut(app).unwrap().buffer_mut().fill(Pixel::grey(50));
+        {
+            let s = sf.surface_mut(bar).unwrap();
+            s.set_z_order(1);
+            s.set_bounds(Rect::new(0, 0, 8, 2));
+            s.buffer_mut().fill(Pixel::WHITE);
+        }
+        sf.submit(app, SimTime::from_millis(1), true).unwrap();
+        sf.compose(SimTime::from_millis(16));
+        // Bar covers the top two rows only.
+        assert_eq!(sf.framebuffer().pixel(4, 1), Pixel::WHITE);
+        assert_eq!(sf.framebuffer().pixel(4, 2), Pixel::grey(50));
+    }
+
+    #[test]
+    fn unknown_surface_errors() {
+        let (mut sf, _) = flinger();
+        let bogus = SurfaceId::new(99);
+        assert!(sf.submit(bogus, SimTime::ZERO, true).is_err());
+        assert!(sf.surface(bogus).is_err());
+        let err = sf.surface_mut(bogus).unwrap_err();
+        assert_eq!(err.to_string(), "unknown surface#99");
+    }
+
+    #[test]
+    fn vsync_caps_frame_rate_at_refresh_rate() {
+        // 60 submissions in one second, composed on 20 Hz edges -> 20
+        // composed frames. This is the V-Sync feedback the paper's
+        // section table works around.
+        let (mut sf, id) = flinger();
+        let mut edges = 0;
+        for ms in 0..1000u64 {
+            if ms % 17 == 0 {
+                sf.submit(id, SimTime::from_millis(ms), true).unwrap();
+            }
+            if ms % 50 == 49 {
+                sf.compose(SimTime::from_millis(ms));
+                edges += 1;
+            }
+        }
+        assert_eq!(edges, 20);
+        assert_eq!(sf.stats().composed().count(), 20);
+        assert!(sf.stats().submissions().count() > 50);
+    }
+}

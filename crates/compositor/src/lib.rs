@@ -1,0 +1,38 @@
+//! # ccdem-compositor
+//!
+//! A SurfaceFlinger-like surface manager for the `ccdem` simulator:
+//!
+//! * [`surface`] — per-application rendering targets with z-order.
+//! * [`flinger`] — submission latching and V-Sync-edge composition into
+//!   the hardware framebuffer. The latch is V-Sync throttling: at most one
+//!   framebuffer update per refresh period, which caps the frame rate at
+//!   the refresh rate (paper §2.1).
+//! * [`stats`] — the four frame-event streams (submissions, content
+//!   submissions, composed frames, content-carrying composed frames) from
+//!   which frame rate, actual content rate, displayed content rate and
+//!   dropped frames are derived.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccdem_compositor::flinger::SurfaceFlinger;
+//! use ccdem_pixelbuf::geometry::Resolution;
+//! use ccdem_simkit::time::SimTime;
+//!
+//! let mut sf = SurfaceFlinger::new(Resolution::new(8, 8));
+//! let app = sf.create_surface("app");
+//! // A redundant frame: submitted, composed, but no pixel changed.
+//! sf.submit(app, SimTime::from_millis(1), false)?;
+//! sf.compose(SimTime::from_millis(16));
+//! assert_eq!(sf.stats().composed().count(), 1);
+//! assert_eq!(sf.stats().content_composed().count(), 0);
+//! # Ok::<(), ccdem_compositor::flinger::UnknownSurfaceError>(())
+//! ```
+
+pub mod flinger;
+pub mod stats;
+pub mod surface;
+
+pub use flinger::{ComposeOutcome, SurfaceFlinger, UnknownSurfaceError};
+pub use stats::FrameStats;
+pub use surface::{Surface, SurfaceId};

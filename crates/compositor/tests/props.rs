@@ -1,0 +1,131 @@
+//! Property-based tests for the compositor's latching semantics.
+
+use ccdem_compositor::flinger::{ComposeOutcome, SurfaceFlinger};
+use ccdem_pixelbuf::geometry::Resolution;
+use ccdem_pixelbuf::pixel::Pixel;
+use ccdem_simkit::time::SimTime;
+use proptest::prelude::*;
+
+/// A scripted interleaving of submissions and V-Sync edges.
+#[derive(Debug, Clone)]
+enum Step {
+    Submit { content: bool },
+    Vsync,
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<bool>().prop_map(|content| Step::Submit { content }),
+            Just(Step::Vsync),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    /// Conservation: every submission is either still pending or was
+    /// coalesced into exactly one composition; compositions never exceed
+    /// V-Sync edges.
+    #[test]
+    fn submissions_conserved(steps in arb_steps()) {
+        let mut sf = SurfaceFlinger::new(Resolution::new(8, 8));
+        let id = sf.create_surface("prop");
+        let mut submitted = 0usize;
+        let mut coalesced_total = 0usize;
+        let mut edges = 0usize;
+        let mut composed = 0usize;
+        for (i, step) in steps.iter().enumerate() {
+            let t = SimTime::from_millis(i as u64);
+            match step {
+                Step::Submit { content } => {
+                    if *content {
+                        sf.surface_mut(id).unwrap().buffer_mut().fill(Pixel::grey((i % 250) as u8 + 1));
+                    }
+                    sf.submit(id, t, *content).unwrap();
+                    submitted += 1;
+                }
+                Step::Vsync => {
+                    edges += 1;
+                    if let ComposeOutcome::Composed { coalesced, .. } = sf.compose(t) {
+                        composed += 1;
+                        coalesced_total += coalesced;
+                    }
+                }
+            }
+        }
+        let pending = if sf.has_pending() {
+            submitted - coalesced_total
+        } else {
+            0
+        };
+        prop_assert_eq!(coalesced_total + pending, submitted);
+        prop_assert!(composed <= edges);
+        prop_assert_eq!(sf.stats().submissions().count(), submitted);
+        prop_assert_eq!(sf.stats().composed().count(), composed);
+    }
+
+    /// Content accounting: composed-content frames never exceed content
+    /// submissions, and a composed frame carries content iff some
+    /// coalesced submission did.
+    #[test]
+    fn content_flag_accounting(steps in arb_steps()) {
+        let mut sf = SurfaceFlinger::new(Resolution::new(8, 8));
+        let id = sf.create_surface("prop");
+        let mut pending_content = false;
+        for (i, step) in steps.iter().enumerate() {
+            let t = SimTime::from_millis(i as u64);
+            match step {
+                Step::Submit { content } => {
+                    sf.submit(id, t, *content).unwrap();
+                    pending_content |= content;
+                }
+                Step::Vsync => {
+                    match sf.compose(t) {
+                        ComposeOutcome::Composed { content_changed, .. } => {
+                            prop_assert_eq!(content_changed, pending_content);
+                            pending_content = false;
+                        }
+                        ComposeOutcome::Idle => {
+                            prop_assert!(!pending_content);
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert!(
+            sf.stats().content_composed().count() <= sf.stats().content_submissions().count()
+        );
+    }
+
+    /// Generation monotonicity: every composition bumps the framebuffer
+    /// generation exactly once; idle edges never change it.
+    #[test]
+    fn generation_tracks_compositions(steps in arb_steps()) {
+        let mut sf = SurfaceFlinger::new(Resolution::new(4, 4));
+        let id = sf.create_surface("prop");
+        let mut last_gen = sf.framebuffer().generation();
+        for (i, step) in steps.iter().enumerate() {
+            let t = SimTime::from_millis(i as u64);
+            match step {
+                Step::Submit { content } => {
+                    // Submission alone never touches the framebuffer.
+                    sf.submit(id, t, *content).unwrap();
+                    prop_assert_eq!(sf.framebuffer().generation(), last_gen);
+                }
+                Step::Vsync => {
+                    let before = sf.framebuffer().generation();
+                    match sf.compose(t) {
+                        ComposeOutcome::Composed { .. } => {
+                            prop_assert!(sf.framebuffer().generation() > before);
+                        }
+                        ComposeOutcome::Idle => {
+                            prop_assert_eq!(sf.framebuffer().generation(), before);
+                        }
+                    }
+                    last_gen = sf.framebuffer().generation();
+                }
+            }
+        }
+    }
+}

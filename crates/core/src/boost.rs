@@ -1,0 +1,124 @@
+//! Touch boosting (paper §3.2).
+//!
+//! Section-based control reacts only as fast as the meter can *observe* a
+//! content-rate rise, and V-Sync caps that observation at the current
+//! refresh rate — so a sudden burst of user interaction at 20 Hz takes
+//! several control windows to climb back to 60 Hz, dropping frames the
+//! whole way (Fig. 7a/c). The fix is blunt and effective: any touch event
+//! forces the maximum refresh rate immediately, held for a short period
+//! after the last touch.
+
+use ccdem_simkit::time::{SimDuration, SimTime};
+
+/// Forces the maximum refresh rate while the user is interacting.
+///
+/// # Examples
+///
+/// ```
+/// use ccdem_core::boost::TouchBooster;
+/// use ccdem_simkit::time::{SimDuration, SimTime};
+///
+/// let mut boost = TouchBooster::new(SimDuration::from_secs(1));
+/// assert!(!boost.is_active(SimTime::ZERO));
+/// boost.on_touch(SimTime::from_millis(500));
+/// assert!(boost.is_active(SimTime::from_millis(1_400)));
+/// assert!(!boost.is_active(SimTime::from_millis(1_501)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TouchBooster {
+    hold: SimDuration,
+    boosted_until: Option<SimTime>,
+    touches: u64,
+}
+
+impl TouchBooster {
+    /// The default hold period: long enough to cover the scroll response
+    /// that follows a touch, short enough that the boost's power cost
+    /// stays small (§4.3 reports only a slight saving reduction).
+    pub const DEFAULT_HOLD: SimDuration = SimDuration::from_millis(400);
+
+    /// Creates a booster that holds the boost for `hold` after each touch.
+    pub fn new(hold: SimDuration) -> TouchBooster {
+        TouchBooster {
+            hold,
+            boosted_until: None,
+            touches: 0,
+        }
+    }
+
+    /// The configured hold period.
+    pub fn hold(&self) -> SimDuration {
+        self.hold
+    }
+
+    /// Number of touch events seen.
+    pub fn touches(&self) -> u64 {
+        self.touches
+    }
+
+    /// Registers a touch event at `now`, extending the boost deadline.
+    pub fn on_touch(&mut self, now: SimTime) {
+        self.touches += 1;
+        let until = now + self.hold;
+        self.boosted_until = Some(match self.boosted_until {
+            Some(existing) => existing.max(until),
+            None => until,
+        });
+    }
+
+    /// Whether the boost is in force at `now` (inclusive of the deadline).
+    pub fn is_active(&self, now: SimTime) -> bool {
+        matches!(self.boosted_until, Some(until) if now <= until)
+    }
+
+    /// Time at which the boost lapses, if one is pending.
+    pub fn boosted_until(&self) -> Option<SimTime> {
+        self.boosted_until
+    }
+}
+
+impl Default for TouchBooster {
+    fn default() -> Self {
+        TouchBooster::new(TouchBooster::DEFAULT_HOLD)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_before_any_touch() {
+        let b = TouchBooster::default();
+        assert!(!b.is_active(SimTime::ZERO));
+        assert_eq!(b.boosted_until(), None);
+    }
+
+    #[test]
+    fn repeated_touches_extend_deadline() {
+        let mut b = TouchBooster::new(SimDuration::from_millis(100));
+        b.on_touch(SimTime::from_millis(0));
+        b.on_touch(SimTime::from_millis(80));
+        assert!(b.is_active(SimTime::from_millis(150)));
+        assert!(!b.is_active(SimTime::from_millis(181)));
+        assert_eq!(b.touches(), 2);
+    }
+
+    #[test]
+    fn out_of_order_touch_never_shortens_deadline() {
+        let mut b = TouchBooster::new(SimDuration::from_millis(100));
+        b.on_touch(SimTime::from_millis(50));
+        // An earlier-stamped touch (e.g. from a second input stream) must
+        // not pull the deadline back.
+        b.on_touch(SimTime::from_millis(10));
+        assert!(b.is_active(SimTime::from_millis(150)));
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let mut b = TouchBooster::new(SimDuration::from_millis(100));
+        b.on_touch(SimTime::ZERO);
+        assert!(b.is_active(SimTime::from_millis(100)));
+        assert!(!b.is_active(SimTime::from_millis(100) + SimDuration::from_micros(1)));
+    }
+}

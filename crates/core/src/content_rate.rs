@@ -1,0 +1,121 @@
+//! The content rate metric (paper §3.1).
+//!
+//! The *content rate* is the number of meaningful frames per second — the
+//! frame rate minus the redundant frame rate, where a frame is redundant
+//! if its pixels are identical to the previous frame's. It is the quantity
+//! the refresh rate actually needs to track: refreshing faster than the
+//! content rate wastes energy redisplaying unchanged pixels, refreshing
+//! slower drops content.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Meaningful frames per second.
+///
+/// # Examples
+///
+/// ```
+/// use ccdem_core::content_rate::ContentRate;
+///
+/// let cr = ContentRate::from_fps(24.0);
+/// assert_eq!(cr.fps(), 24.0);
+/// assert!(cr > ContentRate::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct ContentRate(f64);
+
+impl ContentRate {
+    /// Zero content per second (a fully static screen).
+    pub const ZERO: ContentRate = ContentRate(0.0);
+
+    /// Creates a content rate from frames per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fps` is negative or not finite.
+    pub fn from_fps(fps: f64) -> ContentRate {
+        assert!(
+            fps.is_finite() && fps >= 0.0,
+            "content rate must be finite and non-negative, got {fps}"
+        );
+        ContentRate(fps)
+    }
+
+    /// The rate in frames per second.
+    pub fn fps(self) -> f64 {
+        self.0
+    }
+
+    /// Computes a rate from a count of meaningful frames over a window.
+    ///
+    /// Returns zero for an empty window.
+    pub fn from_count(meaningful_frames: usize, window_secs: f64) -> ContentRate {
+        if window_secs <= 0.0 {
+            ContentRate::ZERO
+        } else {
+            ContentRate(meaningful_frames as f64 / window_secs)
+        }
+    }
+
+    /// The larger of two rates.
+    pub fn max(self, other: ContentRate) -> ContentRate {
+        ContentRate(self.0.max(other.0))
+    }
+}
+
+impl Add for ContentRate {
+    type Output = ContentRate;
+    fn add(self, rhs: ContentRate) -> ContentRate {
+        ContentRate(self.0 + rhs.0)
+    }
+}
+
+impl Sub for ContentRate {
+    type Output = ContentRate;
+    /// Saturating subtraction: content rates never go negative.
+    fn sub(self, rhs: ContentRate) -> ContentRate {
+        ContentRate((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl fmt::Display for ContentRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} fps", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_count_divides_by_window() {
+        let cr = ContentRate::from_count(30, 2.0);
+        assert_eq!(cr.fps(), 15.0);
+    }
+
+    #[test]
+    fn from_count_empty_window_is_zero() {
+        assert_eq!(ContentRate::from_count(10, 0.0), ContentRate::ZERO);
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let a = ContentRate::from_fps(5.0);
+        let b = ContentRate::from_fps(8.0);
+        assert_eq!(a - b, ContentRate::ZERO);
+        assert_eq!((b - a).fps(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_rejected() {
+        let _ = ContentRate::from_fps(-1.0);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(ContentRate::from_fps(20.0) < ContentRate::from_fps(24.0));
+        assert_eq!(ContentRate::from_fps(12.34).to_string(), "12.3 fps");
+    }
+}

@@ -1,0 +1,188 @@
+//! Downswitch hysteresis (extension beyond the paper).
+//!
+//! Every refresh-rate switch costs a driver handshake and risks a visible
+//! timing glitch; a content rate hovering around a section boundary makes
+//! the raw controller flap between the adjacent rates every window. This
+//! wrapper applies an asymmetric rule used by production LTPO panels:
+//!
+//! * **up-switches apply immediately** — headroom is a quality matter and
+//!   the paper's whole design errs toward responsiveness upward;
+//! * **down-switches apply only after the lower target has been proposed
+//!   for `dwell` consecutive decisions** — dropping is purely a power
+//!   optimisation, so it can afford to wait out flicker.
+
+use ccdem_panel::refresh::RefreshRate;
+
+/// Asymmetric switch damper: immediate up, dwell-gated down.
+///
+/// # Examples
+///
+/// ```
+/// use ccdem_core::hysteresis::SwitchDamper;
+/// use ccdem_panel::refresh::RefreshRate;
+///
+/// let mut damper = SwitchDamper::new(2);
+/// // Start at 60; a single 20 Hz proposal is suppressed…
+/// assert_eq!(damper.apply(RefreshRate::HZ_60), RefreshRate::HZ_60);
+/// assert_eq!(damper.apply(RefreshRate::HZ_20), RefreshRate::HZ_60);
+/// // …the second consecutive one lands.
+/// assert_eq!(damper.apply(RefreshRate::HZ_20), RefreshRate::HZ_20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchDamper {
+    dwell: u32,
+    current: Option<RefreshRate>,
+    pending_down: Option<(RefreshRate, u32)>,
+}
+
+impl SwitchDamper {
+    /// Creates a damper requiring `dwell` consecutive identical
+    /// down-proposals before applying one. `dwell = 1` reproduces the
+    /// paper's undamped behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dwell` is zero.
+    pub fn new(dwell: u32) -> SwitchDamper {
+        assert!(dwell > 0, "dwell must be at least 1");
+        SwitchDamper {
+            dwell,
+            current: None,
+            pending_down: None,
+        }
+    }
+
+    /// The configured dwell count.
+    pub fn dwell(&self) -> u32 {
+        self.dwell
+    }
+
+    /// The rate currently held by the damper, if any decision has been
+    /// made yet.
+    pub fn current(&self) -> Option<RefreshRate> {
+        self.current
+    }
+
+    /// Filters one proposed rate and returns the rate to actually apply.
+    pub fn apply(&mut self, proposed: RefreshRate) -> RefreshRate {
+        let Some(current) = self.current else {
+            // First decision passes through.
+            self.current = Some(proposed);
+            return proposed;
+        };
+        if proposed >= current {
+            // Up (or equal): apply at once, cancel any pending descent.
+            self.pending_down = None;
+            self.current = Some(proposed);
+            return proposed;
+        }
+        // Down: count consecutive identical proposals.
+        let streak = match self.pending_down {
+            Some((rate, n)) if rate == proposed => n + 1,
+            _ => 1,
+        };
+        if streak >= self.dwell {
+            self.pending_down = None;
+            self.current = Some(proposed);
+            proposed
+        } else {
+            self.pending_down = Some((proposed, streak));
+            current
+        }
+    }
+
+    /// Forgets all state (e.g. on screen-off).
+    pub fn reset(&mut self) {
+        self.current = None;
+        self.pending_down = None;
+    }
+}
+
+impl Default for SwitchDamper {
+    fn default() -> Self {
+        SwitchDamper::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dwell_one_is_transparent() {
+        let mut d = SwitchDamper::new(1);
+        for rate in [
+            RefreshRate::HZ_60,
+            RefreshRate::HZ_20,
+            RefreshRate::HZ_40,
+            RefreshRate::HZ_24,
+        ] {
+            assert_eq!(d.apply(rate), rate);
+        }
+    }
+
+    #[test]
+    fn up_switch_is_immediate() {
+        let mut d = SwitchDamper::new(5);
+        d.apply(RefreshRate::HZ_20);
+        assert_eq!(d.apply(RefreshRate::HZ_60), RefreshRate::HZ_60);
+    }
+
+    #[test]
+    fn down_switch_requires_dwell() {
+        let mut d = SwitchDamper::new(3);
+        d.apply(RefreshRate::HZ_60);
+        assert_eq!(d.apply(RefreshRate::HZ_24), RefreshRate::HZ_60);
+        assert_eq!(d.apply(RefreshRate::HZ_24), RefreshRate::HZ_60);
+        assert_eq!(d.apply(RefreshRate::HZ_24), RefreshRate::HZ_24);
+    }
+
+    #[test]
+    fn interrupted_descent_restarts_the_count() {
+        let mut d = SwitchDamper::new(2);
+        d.apply(RefreshRate::HZ_60);
+        assert_eq!(d.apply(RefreshRate::HZ_24), RefreshRate::HZ_60);
+        // An up-proposal cancels the streak…
+        assert_eq!(d.apply(RefreshRate::HZ_60), RefreshRate::HZ_60);
+        // …so the descent needs two fresh proposals again.
+        assert_eq!(d.apply(RefreshRate::HZ_24), RefreshRate::HZ_60);
+        assert_eq!(d.apply(RefreshRate::HZ_24), RefreshRate::HZ_24);
+    }
+
+    #[test]
+    fn changing_down_target_restarts_the_count() {
+        let mut d = SwitchDamper::new(2);
+        d.apply(RefreshRate::HZ_60);
+        assert_eq!(d.apply(RefreshRate::HZ_30), RefreshRate::HZ_60);
+        // Different lower target: streak restarts at 1.
+        assert_eq!(d.apply(RefreshRate::HZ_20), RefreshRate::HZ_60);
+        assert_eq!(d.apply(RefreshRate::HZ_20), RefreshRate::HZ_20);
+    }
+
+    #[test]
+    fn flapping_input_holds_high_rate() {
+        // CR oscillating across a section boundary: undamped would flap
+        // every decision; dwell 2 never descends.
+        let mut d = SwitchDamper::new(2);
+        d.apply(RefreshRate::HZ_40);
+        for _ in 0..10 {
+            assert_eq!(d.apply(RefreshRate::HZ_30), RefreshRate::HZ_40);
+            assert_eq!(d.apply(RefreshRate::HZ_40), RefreshRate::HZ_40);
+        }
+    }
+
+    #[test]
+    fn reset_forgets_current() {
+        let mut d = SwitchDamper::new(2);
+        d.apply(RefreshRate::HZ_60);
+        d.reset();
+        assert_eq!(d.current(), None);
+        assert_eq!(d.apply(RefreshRate::HZ_20), RefreshRate::HZ_20);
+    }
+
+    #[test]
+    #[should_panic(expected = "dwell must be at least 1")]
+    fn zero_dwell_rejected() {
+        let _ = SwitchDamper::new(0);
+    }
+}

@@ -1,0 +1,385 @@
+//! Ablations of the design choices called out in DESIGN.md.
+//!
+//! The paper fixes several knobs without exploring them; these sweeps
+//! quantify each one on a representative interactive workload:
+//!
+//! * **control window** — shorter windows react faster (quality) but
+//!   switch more and measure noisier content rates;
+//! * **grid budget** — fewer compared pixels cost less but underestimate
+//!   the content rate, dragging the refresh rate (and quality) down;
+//! * **boost hold** — longer holds protect quality after a touch at the
+//!   cost of extra 60 Hz time;
+//! * **mapper rule** — the paper's Eq. 1 section table vs the rejected
+//!   naive rate-matching rule.
+
+use std::fmt;
+
+use ccdem_core::governor::{GovernorConfig, Policy};
+use ccdem_power::model::PowerCoefficients;
+use ccdem_metrics::table::TextTable;
+use ccdem_simkit::time::SimDuration;
+use ccdem_workloads::catalog;
+
+use crate::scenario::{scaled_budget, Scenario, Workload};
+use ccdem_pixelbuf::geometry::Resolution;
+
+/// Configuration for the ablation sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AblationConfig {
+    /// Run length per configuration.
+    pub duration: SimDuration,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for AblationConfig {
+    fn default() -> Self {
+        AblationConfig {
+            duration: SimDuration::from_secs(30),
+            seed: 77,
+        }
+    }
+}
+
+/// One configuration's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationPoint {
+    /// Human-readable configuration label.
+    pub label: String,
+    /// Power saved vs the fixed-60 Hz baseline. (mW)
+    pub saved_mw: f64,
+    /// Display quality. [%]
+    pub quality_pct: f64,
+    /// Dropped content frames per second.
+    pub dropped_fps: f64,
+    /// Applied refresh-rate switches over the run.
+    pub switches: u64,
+}
+
+/// A named sweep of configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ablation {
+    /// What was swept.
+    pub name: String,
+    /// One point per configuration, in sweep order.
+    pub points: Vec<AblationPoint>,
+}
+
+impl fmt::Display for Ablation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Ablation: {}", self.name)?;
+        let mut t = TextTable::new([
+            "configuration",
+            "saved (mW)",
+            "quality (%)",
+            "dropped (fps)",
+            "switches",
+        ]);
+        for p in &self.points {
+            t.row([
+                p.label.clone(),
+                format!("{:.0}", p.saved_mw),
+                format!("{:.1}", p.quality_pct),
+                format!("{:.2}", p.dropped_fps),
+                format!("{}", p.switches),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+fn measure(config: &AblationConfig, label: String, governor: GovernorConfig) -> AblationPoint {
+    let mut scenario = Scenario::new(
+        Workload::App(catalog::jelly_splash()),
+        governor.policy(),
+    )
+    .at_quarter_resolution()
+    .with_duration(config.duration)
+    .with_seed(config.seed);
+    // Preserve the grid budget the caller chose (at_quarter_resolution
+    // rescales the default; apply the explicit one scaled the same way).
+    scenario.governor = GovernorConfig::new(governor.policy())
+        .with_control_window(governor.control_window())
+        .with_grid_budget(scaled_budget(Resolution::QUARTER, governor.grid_budget()))
+        .with_boost_hold(governor.boost_hold())
+        .with_smoothing_alpha(governor.smoothing_alpha())
+        .with_down_dwell(governor.down_dwell());
+    let (governed, baseline) = scenario.run_with_baseline();
+    AblationPoint {
+        label,
+        saved_mw: baseline.avg_power_mw - governed.avg_power_mw,
+        quality_pct: governed.quality_pct(),
+        dropped_fps: governed.dropped_fps(),
+        switches: governed.refresh_switches,
+    }
+}
+
+/// Sweeps the control-window length (paper default: 500 ms).
+pub fn control_window_sweep(config: &AblationConfig) -> Ablation {
+    let points = [125u64, 250, 500, 1_000, 2_000]
+        .iter()
+        .map(|&ms| {
+            measure(
+                config,
+                format!("{ms} ms window"),
+                GovernorConfig::new(Policy::SectionWithBoost)
+                    .with_control_window(SimDuration::from_millis(ms)),
+            )
+        })
+        .collect();
+    Ablation {
+        name: "control window length".into(),
+        points,
+    }
+}
+
+/// Sweeps the grid pixel budget (paper default: 9K of 921K pixels).
+pub fn grid_budget_sweep(config: &AblationConfig) -> Ablation {
+    let points = [2_304usize, 4_080, 9_216, 36_864, 921_600]
+        .iter()
+        .map(|&budget| {
+            measure(
+                config,
+                format!("{budget} px grid"),
+                GovernorConfig::new(Policy::SectionWithBoost).with_grid_budget(budget),
+            )
+        })
+        .collect();
+    Ablation {
+        name: "grid comparison pixel budget".into(),
+        points,
+    }
+}
+
+/// Sweeps the touch-boost hold time (default: 400 ms).
+pub fn boost_hold_sweep(config: &AblationConfig) -> Ablation {
+    let points = [0u64, 200, 400, 800, 1_600, 3_200]
+        .iter()
+        .map(|&ms| {
+            measure(
+                config,
+                format!("{ms} ms hold"),
+                GovernorConfig::new(Policy::SectionWithBoost)
+                    .with_boost_hold(SimDuration::from_millis(ms)),
+            )
+        })
+        .collect();
+    Ablation {
+        name: "touch boost hold time".into(),
+        points,
+    }
+}
+
+/// Compares the rate-mapping rules (paper Eq. 1 vs the rejected naive
+/// matcher) and the baseline.
+pub fn mapper_rule_compare(config: &AblationConfig) -> Ablation {
+    let points = [
+        (Policy::NaiveMatch, "naive rate matching"),
+        (Policy::SectionOnly, "section table (Eq. 1)"),
+        (Policy::SectionWithBoost, "section table + boost"),
+    ]
+    .iter()
+    .map(|&(policy, label)| measure(config, label.to_string(), GovernorConfig::new(policy)))
+    .collect();
+    Ablation {
+        name: "rate-mapping rule".into(),
+        points,
+    }
+}
+
+/// Sweeps the EWMA content-rate smoothing weight (extension; 1.0 = the
+/// paper's unsmoothed behaviour).
+pub fn smoothing_sweep(config: &AblationConfig) -> Ablation {
+    let points = [1.0f64, 0.7, 0.5, 0.3, 0.15]
+        .iter()
+        .map(|&alpha| {
+            measure(
+                config,
+                format!("alpha {alpha}"),
+                GovernorConfig::new(Policy::SectionWithBoost).with_smoothing_alpha(alpha),
+            )
+        })
+        .collect();
+    Ablation {
+        name: "content-rate EWMA smoothing".into(),
+        points,
+    }
+}
+
+/// Sweeps the down-switch dwell count (extension; 1 = the paper's
+/// undamped behaviour).
+pub fn down_dwell_sweep(config: &AblationConfig) -> Ablation {
+    let points = [1u32, 2, 3, 5]
+        .iter()
+        .map(|&dwell| {
+            measure(
+                config,
+                format!("dwell {dwell}"),
+                GovernorConfig::new(Policy::SectionWithBoost).with_down_dwell(dwell),
+            )
+        })
+        .collect();
+    Ablation {
+        name: "down-switch hysteresis dwell".into(),
+        points,
+    }
+}
+
+/// Sweeps the panel-self-refresh discount of the power model
+/// (extension): the more link traffic a PSR panel already skips for
+/// unchanged frames, the less the refresh-rate governor has left to
+/// save — quantifying how the paper's 2012-era gains shrink on modern
+/// command-mode panels.
+pub fn psr_sweep(config: &AblationConfig) -> Ablation {
+    // Facebook, not Jelly Splash: PSR only helps on refresh cycles with
+    // no new framebuffer write, so a 60 fps-submitting game (every cycle
+    // receives a frame, however redundant) is unaffected — the idle app
+    // whose panel mostly self-refreshes is where the interaction lives.
+    let points = [0.0f64, 0.25, 0.5, 0.75, 1.0]
+        .iter()
+        .map(|&discount| {
+            let mut scenario = Scenario::new(
+                Workload::App(catalog::facebook()),
+                Policy::SectionWithBoost,
+            )
+            .at_quarter_resolution()
+            .with_duration(config.duration)
+            .with_seed(config.seed);
+            scenario.power = PowerCoefficients::galaxy_s3().with_psr_discount(discount);
+            let (governed, baseline) = scenario.run_with_baseline();
+            AblationPoint {
+                label: format!("PSR discount {discount}"),
+                saved_mw: baseline.avg_power_mw - governed.avg_power_mw,
+                quality_pct: governed.quality_pct(),
+                dropped_fps: governed.dropped_fps(),
+                switches: governed.refresh_switches,
+            }
+        })
+        .collect();
+    Ablation {
+        name: "panel self-refresh interaction".into(),
+        points,
+    }
+}
+
+/// Runs every ablation.
+pub fn run_all(config: &AblationConfig) -> Vec<Ablation> {
+    vec![
+        control_window_sweep(config),
+        grid_budget_sweep(config),
+        boost_hold_sweep(config),
+        mapper_rule_compare(config),
+        smoothing_sweep(config),
+        down_dwell_sweep(config),
+        psr_sweep(config),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AblationConfig {
+        AblationConfig {
+            duration: SimDuration::from_secs(10),
+            seed: 31,
+        }
+    }
+
+    #[test]
+    fn window_sweep_runs_all_points() {
+        let a = control_window_sweep(&cfg());
+        assert_eq!(a.points.len(), 5);
+        for p in &a.points {
+            assert!(p.saved_mw > 0.0, "{}: saved {:.0} mW", p.label, p.saved_mw);
+        }
+    }
+
+    #[test]
+    fn longer_windows_switch_less() {
+        let a = control_window_sweep(&cfg());
+        let first = a.points.first().unwrap().switches;
+        let last = a.points.last().unwrap().switches;
+        assert!(
+            last <= first,
+            "2 s window switched {last}× vs {first}× at 125 ms"
+        );
+    }
+
+    #[test]
+    fn budget_sweep_keeps_quality_high_at_9k() {
+        let a = grid_budget_sweep(&cfg());
+        let p9k = &a.points[2];
+        assert!(p9k.quality_pct > 90.0, "9K grid quality {:.1}%", p9k.quality_pct);
+    }
+
+    #[test]
+    fn zero_hold_drops_most_frames() {
+        let a = boost_hold_sweep(&cfg());
+        let zero = a.points.first().unwrap();
+        let long = a.points.last().unwrap();
+        assert!(
+            zero.dropped_fps >= long.dropped_fps,
+            "0 ms hold dropped {:.2} fps < {:.2} at 3.2 s",
+            zero.dropped_fps,
+            long.dropped_fps
+        );
+        // And longer holds cost savings.
+        assert!(zero.saved_mw >= long.saved_mw - 1.0);
+    }
+
+    #[test]
+    fn mapper_compare_orders_policies() {
+        let a = mapper_rule_compare(&cfg());
+        let naive = &a.points[0];
+        let boost = &a.points[2];
+        assert!(boost.quality_pct >= naive.quality_pct);
+        assert!(naive.saved_mw >= boost.saved_mw - 1.0);
+    }
+
+    #[test]
+    fn smoothing_reduces_switches() {
+        let a = smoothing_sweep(&cfg());
+        let raw = a.points.first().unwrap();
+        let smooth = a.points.last().unwrap();
+        assert!(
+            smooth.switches <= raw.switches,
+            "alpha 0.15 switched {}× vs {}× unsmoothed",
+            smooth.switches,
+            raw.switches
+        );
+    }
+
+    #[test]
+    fn dwell_reduces_switches_and_costs_savings() {
+        let a = down_dwell_sweep(&cfg());
+        let undamped = a.points.first().unwrap();
+        let damped = a.points.last().unwrap();
+        assert!(damped.switches <= undamped.switches);
+        assert!(damped.saved_mw <= undamped.saved_mw + 1.0);
+        assert!(damped.quality_pct >= undamped.quality_pct - 2.0);
+    }
+
+    #[test]
+    fn psr_shrinks_but_keeps_savings() {
+        let a = psr_sweep(&cfg());
+        let no_psr = a.points.first().unwrap();
+        let full_psr = a.points.last().unwrap();
+        assert!(
+            full_psr.saved_mw < no_psr.saved_mw,
+            "PSR 1.0 saved {:.0} mW ≥ no-PSR {:.0} mW",
+            full_psr.saved_mw,
+            no_psr.saved_mw
+        );
+        // Composition savings remain even on an ideal PSR panel.
+        assert!(full_psr.saved_mw > 0.0);
+    }
+
+    #[test]
+    fn reports_render() {
+        let a = mapper_rule_compare(&cfg());
+        let s = a.to_string();
+        assert!(s.contains("naive rate matching"));
+        assert!(s.contains("quality"));
+    }
+}

@@ -1,0 +1,174 @@
+//! CSV export of run results.
+//!
+//! Every per-second series of a [`crate::scenario::RunResult`]
+//! can be written as one CSV for plotting in any external tool (the
+//! paper's figures are time-series and bar charts; these files carry the
+//! same columns).
+
+use std::io::{self, Write};
+
+use crate::scenario::RunResult;
+
+/// Writes the per-second time series of `run` as CSV to `out`.
+///
+/// Columns: `second, power_mw, refresh_hz, frame_rate_fps,
+/// actual_content_fps, displayed_content_fps, measured_content_fps,
+/// submissions_fps`.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `out`. A mutable reference to a writer
+/// can be passed (`&mut Vec<u8>`, `&mut File`, …).
+///
+/// # Examples
+///
+/// ```
+/// use ccdem_core::governor::Policy;
+/// use ccdem_experiments::export::write_timeseries_csv;
+/// use ccdem_experiments::{Scenario, Workload};
+/// use ccdem_simkit::time::SimDuration;
+/// use ccdem_workloads::catalog;
+///
+/// # fn main() -> std::io::Result<()> {
+/// let run = Scenario::new(Workload::App(catalog::facebook()), Policy::SectionOnly)
+///     .at_quarter_resolution()
+///     .with_duration(SimDuration::from_secs(3))
+///     .run();
+/// let mut csv = Vec::new();
+/// write_timeseries_csv(&run, &mut csv)?;
+/// let text = String::from_utf8(csv).expect("CSV is UTF-8");
+/// assert!(text.starts_with("second,power_mw,refresh_hz"));
+/// assert_eq!(text.lines().count(), 4); // header + 3 seconds
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_timeseries_csv<W: Write>(run: &RunResult, mut out: W) -> io::Result<()> {
+    writeln!(
+        out,
+        "second,power_mw,refresh_hz,frame_rate_fps,actual_content_fps,\
+         displayed_content_fps,measured_content_fps,submissions_fps"
+    )?;
+    let refresh = run.refresh_trace.per_second(run.duration);
+    let secs = run.power_per_second.len();
+    for sec in 0..secs {
+        let col = |v: &Vec<f64>| v.get(sec).copied().unwrap_or(0.0);
+        writeln!(
+            out,
+            "{sec},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
+            col(&run.power_per_second),
+            refresh.get(sec).copied().unwrap_or(0.0),
+            col(&run.frame_rate_per_second),
+            col(&run.actual_content_per_second),
+            col(&run.displayed_content_per_second),
+            col(&run.measured_content_per_second),
+            col(&run.submissions_per_second),
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes one summary row per run as CSV to `out`.
+///
+/// Columns: `app, class, policy, avg_power_mw, avg_refresh_hz,
+/// actual_content_fps, displayed_content_fps, dropped_fps, quality_pct,
+/// refresh_switches`.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `out`.
+pub fn write_summary_csv<'a, W, I>(runs: I, mut out: W) -> io::Result<()>
+where
+    W: Write,
+    I: IntoIterator<Item = &'a RunResult>,
+{
+    writeln!(
+        out,
+        "app,class,policy,avg_power_mw,avg_refresh_hz,actual_content_fps,\
+         displayed_content_fps,dropped_fps,quality_pct,refresh_switches"
+    )?;
+    for run in runs {
+        writeln!(
+            out,
+            "{},{},{:?},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{}",
+            csv_escape(&run.app_name),
+            run.app_class,
+            run.policy,
+            run.avg_power_mw,
+            run.avg_refresh_hz,
+            run.actual_content_fps,
+            run.displayed_content_fps,
+            run.dropped_fps(),
+            run.quality_pct(),
+            run.refresh_switches,
+        )?;
+    }
+    Ok(())
+}
+
+/// Quotes a field if it contains CSV metacharacters.
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, Workload};
+    use ccdem_core::governor::Policy;
+    use ccdem_simkit::time::SimDuration;
+    use ccdem_workloads::catalog;
+
+    fn run() -> RunResult {
+        Scenario::new(Workload::App(catalog::facebook()), Policy::SectionOnly)
+            .at_quarter_resolution()
+            .with_duration(SimDuration::from_secs(5))
+            .with_seed(3)
+            .run()
+    }
+
+    #[test]
+    fn timeseries_has_one_row_per_second_plus_header() {
+        let r = run();
+        let mut buf = Vec::new();
+        write_timeseries_csv(&r, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 6);
+        // Every data row has 8 comma-separated fields.
+        for line in text.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 8, "bad row: {line}");
+        }
+    }
+
+    #[test]
+    fn summary_contains_each_run() {
+        let a = run();
+        let mut buf = Vec::new();
+        write_summary_csv([&a, &a], &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("Facebook"));
+        assert!(text.contains("SectionOnly"));
+    }
+
+    #[test]
+    fn fields_with_commas_are_quoted() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn timeseries_numbers_match_run() {
+        let r = run();
+        let mut buf = Vec::new();
+        write_timeseries_csv(&r, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let first_row: Vec<&str> = text.lines().nth(1).unwrap().split(',').collect();
+        let power: f64 = first_row[1].parse().unwrap();
+        assert!((power - r.power_per_second[0]).abs() < 1e-3);
+    }
+}

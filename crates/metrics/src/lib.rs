@@ -1,0 +1,30 @@
+//! # ccdem-metrics
+//!
+//! Evaluation metrics for the `ccdem` experiments:
+//!
+//! * [`quality`] — display quality and dropped-frame rates (Figs. 10/11).
+//! * [`latency`] — input-to-photon latency, the felt benefit of touch
+//!   boosting.
+//! * [`summary`] — per-app run summaries and per-class mean ± std
+//!   aggregates (Table 1).
+//! * [`table`] — plain-text table rendering for experiment reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccdem_metrics::quality::{display_quality_pct, dropped_fps};
+//!
+//! // A 24 Hz panel displaying 20 of the app's 22 content frames/s:
+//! assert!((display_quality_pct(20.0, 22.0) - 90.909).abs() < 0.01);
+//! assert_eq!(dropped_fps(20.0, 22.0), 2.0);
+//! ```
+
+pub mod latency;
+pub mod quality;
+pub mod summary;
+pub mod table;
+
+pub use latency::{input_to_photon, LatencySummary};
+pub use quality::{display_quality, display_quality_pct, dropped_fps};
+pub use summary::{AppRunSummary, ClassAggregate};
+pub use table::TextTable;

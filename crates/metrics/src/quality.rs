@@ -1,0 +1,89 @@
+//! Display quality (paper §4.4, Fig. 11).
+//!
+//! The paper defines display quality as the displayed (estimated) content
+//! rate divided by the actual content rate: the fraction of the content
+//! the application produced that actually reached the glass. 100% means
+//! no visible degradation.
+
+/// Display quality as a fraction in `[0, 1]`.
+///
+/// Quality is 1 when the screen is static (`actual == 0`): nothing was
+/// produced, so nothing was lost.
+///
+/// # Examples
+///
+/// ```
+/// use ccdem_metrics::quality::display_quality;
+///
+/// assert_eq!(display_quality(30.0, 30.0), 1.0);
+/// assert_eq!(display_quality(15.0, 30.0), 0.5);
+/// assert_eq!(display_quality(0.0, 0.0), 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if either rate is negative or not finite.
+pub fn display_quality(displayed_fps: f64, actual_fps: f64) -> f64 {
+    assert!(
+        displayed_fps.is_finite() && displayed_fps >= 0.0,
+        "displayed rate must be finite and non-negative"
+    );
+    assert!(
+        actual_fps.is_finite() && actual_fps >= 0.0,
+        "actual rate must be finite and non-negative"
+    );
+    if actual_fps == 0.0 {
+        1.0
+    } else {
+        (displayed_fps / actual_fps).min(1.0)
+    }
+}
+
+/// Display quality as a percentage in `[0, 100]`, the paper's unit.
+pub fn display_quality_pct(displayed_fps: f64, actual_fps: f64) -> f64 {
+    display_quality(displayed_fps, actual_fps) * 100.0
+}
+
+/// Dropped content frames per second: content the app produced that never
+/// reached the screen, clamped at zero.
+///
+/// # Examples
+///
+/// ```
+/// use ccdem_metrics::quality::dropped_fps;
+///
+/// assert_eq!(dropped_fps(20.0, 24.0), 4.0);
+/// assert_eq!(dropped_fps(24.0, 24.0), 0.0);
+/// assert_eq!(dropped_fps(25.0, 24.0), 0.0); // measurement jitter
+/// ```
+pub fn dropped_fps(displayed_fps: f64, actual_fps: f64) -> f64 {
+    (actual_fps - displayed_fps).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_clamped_at_one() {
+        // Measurement windows can make displayed marginally exceed actual.
+        assert_eq!(display_quality(30.5, 30.0), 1.0);
+    }
+
+    #[test]
+    fn quality_pct_scales() {
+        assert_eq!(display_quality_pct(24.0, 30.0), 80.0);
+    }
+
+    #[test]
+    fn static_screen_is_perfect_quality() {
+        assert_eq!(display_quality(0.0, 0.0), 1.0);
+        assert_eq!(dropped_fps(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_rejected() {
+        let _ = display_quality(-1.0, 10.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Display timing: how a panel's refresh rate is actually produced.
+//!
+//! A display controller emits pixels on a fixed pixel clock; each frame
+//! consists of the active area plus horizontal and vertical *blanking*
+//! (porches + sync pulses). The refresh rate is therefore
+//!
+//! ```text
+//! f = pixel_clock / ((hactive + hblank) · (vactive + vblank))
+//! ```
+//!
+//! Runtime refresh-rate switching — the paper's kernel modification — is
+//! implemented in real drivers by *stretching the vertical front porch*:
+//! the panel keeps its pixel clock and line timing, and extra blank lines
+//! after the active area delay the next frame. This module computes the
+//! porch stretch needed for each target rate, which is exactly what the
+//! modified kernel programs into the display controller.
+
+use std::fmt;
+
+use crate::refresh::RefreshRate;
+
+/// Error computing a porch stretch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetimeError {
+    /// The requested rate is above what the base timing can produce
+    /// (porches cannot shrink below the panel's minimum blanking).
+    AboveBaseRate {
+        /// The unreachable rate.
+        requested: RefreshRate,
+    },
+}
+
+impl fmt::Display for RetimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetimeError::AboveBaseRate { requested } => write!(
+                f,
+                "rate {requested} exceeds the base timing; porches cannot shrink"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RetimeError {}
+
+/// A display controller timing configuration.
+///
+/// # Examples
+///
+/// ```
+/// use ccdem_panel::timing::DisplayTiming;
+///
+/// let t = DisplayTiming::galaxy_s3();
+/// assert_eq!(t.refresh_hz().round() as u32, 60);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DisplayTiming {
+    /// Visible pixels per line.
+    pub hactive: u32,
+    /// Blanking pixels per line (front porch + sync + back porch).
+    pub hblank: u32,
+    /// Visible lines per frame.
+    pub vactive: u32,
+    /// Blanking lines per frame at the base rate.
+    pub vblank: u32,
+    /// Pixel clock in Hz.
+    pub pixel_clock: u64,
+}
+
+impl DisplayTiming {
+    /// Galaxy S3 (720×1280) timing producing the stock 60 Hz:
+    /// modest porches and a ~64 MHz pixel clock.
+    pub fn galaxy_s3() -> DisplayTiming {
+        // (720 + 64) · (1280 + 74) = 1 061 536 clocks/frame;
+        // 63.692 MHz / 1 061 536 = exactly 60 Hz.
+        DisplayTiming {
+            hactive: 720,
+            hblank: 64,
+            vactive: 1280,
+            vblank: 74,
+            pixel_clock: 63_692_160,
+        }
+    }
+
+    /// Total clocks per line, including blanking.
+    pub fn line_clocks(&self) -> u64 {
+        u64::from(self.hactive + self.hblank)
+    }
+
+    /// Total lines per frame at this timing, including blanking.
+    pub fn frame_lines(&self) -> u64 {
+        u64::from(self.vactive + self.vblank)
+    }
+
+    /// The refresh rate this timing produces.
+    pub fn refresh_hz(&self) -> f64 {
+        self.pixel_clock as f64 / (self.line_clocks() * self.frame_lines()) as f64
+    }
+
+    /// The number of *extra* vertical front-porch lines needed to slow
+    /// this timing down to `target`, keeping pixel clock and line timing
+    /// fixed — the real kernel modification's computation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetimeError::AboveBaseRate`] if `target` exceeds the
+    /// base rate (blanking cannot go below the panel minimum).
+    pub fn porch_stretch_for(&self, target: RefreshRate) -> Result<u32, RetimeError> {
+        let base = self.refresh_hz();
+        let want = target.hz_f64();
+        if want > base + 1e-9 {
+            return Err(RetimeError::AboveBaseRate { requested: target });
+        }
+        // lines_needed = clock / (line_clocks · f_target)
+        let lines_needed = self.pixel_clock as f64 / (self.line_clocks() as f64 * want);
+        let extra = lines_needed - self.frame_lines() as f64;
+        Ok(extra.round().max(0.0) as u32)
+    }
+
+    /// The timing with `extra_vporch` additional blank lines appended.
+    pub fn with_porch_stretch(&self, extra_vporch: u32) -> DisplayTiming {
+        DisplayTiming {
+            vblank: self.vblank + extra_vporch,
+            ..*self
+        }
+    }
+
+    /// Convenience: the timing retargeted to `target` via porch stretch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetimeError::AboveBaseRate`] if `target` exceeds the
+    /// base rate.
+    pub fn retimed_to(&self, target: RefreshRate) -> Result<DisplayTiming, RetimeError> {
+        Ok(self.with_porch_stretch(self.porch_stretch_for(target)?))
+    }
+}
+
+impl fmt::Display for DisplayTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} (+{}+{} blank) @ {:.3} MHz → {:.2} Hz",
+            self.hactive,
+            self.vactive,
+            self.hblank,
+            self.vblank,
+            self.pixel_clock as f64 / 1e6,
+            self.refresh_hz()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refresh::RefreshRateSet;
+
+    #[test]
+    fn galaxy_s3_base_rate_is_60() {
+        let t = DisplayTiming::galaxy_s3();
+        assert!((t.refresh_hz() - 60.0).abs() < 0.05, "{}", t.refresh_hz());
+    }
+
+    #[test]
+    fn porch_stretch_hits_every_supported_rate() {
+        // The kernel mod must be able to produce all five Galaxy S3
+        // rates from the base timing within 0.5% accuracy.
+        let t = DisplayTiming::galaxy_s3();
+        for rate in RefreshRateSet::galaxy_s3().iter() {
+            let retimed = t.retimed_to(rate).unwrap();
+            let err = (retimed.refresh_hz() - rate.hz_f64()).abs() / rate.hz_f64();
+            assert!(
+                err < 0.005,
+                "{rate}: retimed to {:.3} Hz (porch +{})",
+                retimed.refresh_hz(),
+                retimed.vblank - t.vblank
+            );
+        }
+    }
+
+    #[test]
+    fn stretch_at_base_rate_is_zero() {
+        let t = DisplayTiming::galaxy_s3();
+        assert_eq!(t.porch_stretch_for(RefreshRate::HZ_60).unwrap(), 0);
+    }
+
+    #[test]
+    fn twenty_hz_triples_the_frame() {
+        let t = DisplayTiming::galaxy_s3();
+        let stretched = t.retimed_to(RefreshRate::HZ_20).unwrap();
+        // 20 Hz needs 3× the frame time of 60 Hz: total lines ~3×.
+        let ratio = stretched.frame_lines() as f64 / t.frame_lines() as f64;
+        assert!((ratio - 3.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn rates_above_base_rejected() {
+        let t = DisplayTiming::galaxy_s3();
+        let err = t.porch_stretch_for(RefreshRate::new(90)).unwrap_err();
+        assert!(matches!(err, RetimeError::AboveBaseRate { .. }));
+        assert!(err.to_string().contains("90 Hz"));
+    }
+
+    #[test]
+    fn display_shows_derived_rate() {
+        let s = DisplayTiming::galaxy_s3().to_string();
+        assert!(s.contains("720x1280"));
+        assert!(s.contains("60.0"));
+    }
+
+    #[test]
+    fn monotone_stretch_for_lower_rates() {
+        let t = DisplayTiming::galaxy_s3();
+        let mut prev = 0;
+        for hz in [60u32, 40, 30, 24, 20] {
+            let stretch = t.porch_stretch_for(RefreshRate::new(hz)).unwrap();
+            assert!(stretch >= prev, "{hz} Hz stretch {stretch} < {prev}");
+            prev = stretch;
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the panel model.
+
+use ccdem_panel::controller::RefreshController;
+use ccdem_panel::refresh::{RefreshRate, RefreshRateSet};
+use ccdem_panel::vsync::VsyncScheduler;
+use ccdem_simkit::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_ladder() -> impl Strategy<Value = RefreshRateSet> {
+    proptest::collection::btree_set(5u32..=240, 1..8)
+        .prop_map(|set| RefreshRateSet::new(set.into_iter().map(RefreshRate::new)).unwrap())
+}
+
+proptest! {
+    /// V-Sync edges are strictly increasing and, between rate changes,
+    /// spaced by exactly one period.
+    #[test]
+    fn vsync_edges_strictly_increasing(
+        rates in proptest::collection::vec(5u32..=240, 1..10),
+        edges_per_rate in 1usize..20,
+    ) {
+        let mut v = VsyncScheduler::new(RefreshRate::new(rates[0]), SimTime::ZERO);
+        let mut prev = SimTime::ZERO;
+        for &hz in &rates {
+            v.set_rate(RefreshRate::new(hz));
+            // First edge after a change completes the in-flight scanout.
+            let first = v.advance();
+            prop_assert!(first > prev);
+            prev = first;
+            for _ in 1..edges_per_rate {
+                let e = v.advance();
+                prop_assert_eq!(e - prev, RefreshRate::new(hz).period());
+                prev = e;
+            }
+        }
+    }
+
+    /// Over any one-second span at a fixed rate, the number of edges is
+    /// within one of the nominal rate (rounding of the period only).
+    #[test]
+    fn vsync_rate_accuracy(hz in 5u32..=240) {
+        let mut v = VsyncScheduler::new(RefreshRate::new(hz), SimTime::ZERO);
+        let mut count = 0u32;
+        while v.next_edge() <= SimTime::from_secs(1) {
+            v.advance();
+            count += 1;
+        }
+        prop_assert!(
+            (i64::from(count) - i64::from(hz)).abs() <= 1,
+            "{count} edges at {hz} Hz"
+        );
+    }
+
+    /// The controller's applied rate is always in the supported set, and
+    /// a poll at or after request+latency applies the newest request.
+    #[test]
+    fn controller_applies_newest_supported(
+        ladder in arb_ladder(),
+        requests in proptest::collection::vec((0usize..8, 1u64..1_000), 1..30),
+        latency_ms in 0u64..50,
+    ) {
+        let latency = SimDuration::from_millis(latency_ms);
+        let mut ctl = RefreshController::new(ladder.clone(), ladder.max(), latency);
+        let rates: Vec<RefreshRate> = ladder.iter().collect();
+        let mut now = SimTime::ZERO;
+        let mut last_requested = ladder.max();
+        for (idx, gap_ms) in requests {
+            now += SimDuration::from_millis(gap_ms);
+            let rate = rates[idx % rates.len()];
+            ctl.request(rate, now).unwrap();
+            last_requested = rate;
+            ctl.poll(now); // may or may not apply older pending
+            prop_assert!(ladder.contains(ctl.current()));
+        }
+        // Far in the future everything pending has landed.
+        ctl.poll(now + SimDuration::from_secs(10));
+        prop_assert_eq!(ctl.current(), last_requested);
+    }
+
+    /// Unsupported requests never change state.
+    #[test]
+    fn controller_rejects_unsupported(ladder in arb_ladder(), bogus in 241u32..1000) {
+        let mut ctl = RefreshController::new(ladder.clone(), ladder.min(), SimDuration::ZERO);
+        let before = ctl.current();
+        prop_assert!(ctl.request(RefreshRate::new(bogus), SimTime::ZERO).is_err());
+        ctl.poll(SimTime::from_secs(1));
+        prop_assert_eq!(ctl.current(), before);
+        prop_assert_eq!(ctl.switches(), 0);
+    }
+}

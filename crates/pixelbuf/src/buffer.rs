@@ -1,0 +1,298 @@
+//! The software framebuffer.
+
+use crate::geometry::{Rect, Resolution};
+use crate::pixel::{Pixel, PixelFormat};
+
+/// A software framebuffer: a dense row-major grid of [`Pixel`]s with a
+/// monotonically increasing *generation* counter bumped on every write
+/// batch.
+///
+/// The generation is how the compositor and the content-rate meter cheaply
+/// detect "the framebuffer was updated" without watching individual pixels;
+/// the *content* comparison (did the pixels actually change?) is the
+/// meter's job.
+///
+/// # Examples
+///
+/// ```
+/// use ccdem_pixelbuf::buffer::FrameBuffer;
+/// use ccdem_pixelbuf::geometry::Resolution;
+/// use ccdem_pixelbuf::pixel::Pixel;
+///
+/// let mut fb = FrameBuffer::new(Resolution::new(4, 4));
+/// fb.fill(Pixel::WHITE);
+/// assert_eq!(fb.pixel(2, 3), Pixel::WHITE);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameBuffer {
+    resolution: Resolution,
+    format: PixelFormat,
+    pixels: Vec<Pixel>,
+    generation: u64,
+}
+
+impl FrameBuffer {
+    /// Creates a black framebuffer of the given resolution in RGBA8888.
+    pub fn new(resolution: Resolution) -> FrameBuffer {
+        FrameBuffer::with_format(resolution, PixelFormat::Rgba8888)
+    }
+
+    /// Creates a black framebuffer with an explicit pixel format.
+    pub fn with_format(resolution: Resolution, format: PixelFormat) -> FrameBuffer {
+        FrameBuffer {
+            resolution,
+            format,
+            pixels: vec![Pixel::BLACK; resolution.pixel_count()],
+            generation: 0,
+        }
+    }
+
+    /// The buffer's resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// The buffer's pixel format.
+    pub fn format(&self) -> PixelFormat {
+        self.format
+    }
+
+    /// The write-generation counter.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Marks the buffer as updated without changing pixels. The compositor
+    /// calls this when an application submits a frame whose content is
+    /// identical to the previous one (a *redundant frame*): the hardware
+    /// still performs a framebuffer write.
+    pub fn touch(&mut self) {
+        self.generation += 1;
+    }
+
+    /// The pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is off-screen.
+    pub fn pixel(&self, x: u32, y: u32) -> Pixel {
+        assert!(
+            self.resolution.contains(x, y),
+            "pixel ({x},{y}) out of bounds for {}",
+            self.resolution
+        );
+        self.pixels[self.index(x, y)]
+    }
+
+    /// Writes the pixel at `(x, y)` (quantized to the buffer format) and
+    /// bumps the generation.
+    ///
+    /// Prefer the batch operations ([`fill`](Self::fill),
+    /// [`fill_rect`](Self::fill_rect), [`copy_from`](Self::copy_from)) for
+    /// anything larger than a few pixels: they bump the generation once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is off-screen.
+    pub fn set_pixel(&mut self, x: u32, y: u32, p: Pixel) {
+        assert!(
+            self.resolution.contains(x, y),
+            "pixel ({x},{y}) out of bounds for {}",
+            self.resolution
+        );
+        let i = self.index(x, y);
+        self.pixels[i] = self.format.quantize(p);
+        self.generation += 1;
+    }
+
+    /// Fills the whole buffer with one colour.
+    pub fn fill(&mut self, p: Pixel) {
+        let q = self.format.quantize(p);
+        self.pixels.fill(q);
+        self.generation += 1;
+    }
+
+    /// Fills `rect` (clipped to the screen) with one colour. A fully
+    /// off-screen rect still counts as a write (generation bump), matching
+    /// hardware behaviour where the draw call is issued regardless.
+    pub fn fill_rect(&mut self, rect: Rect, p: Pixel) {
+        let q = self.format.quantize(p);
+        if let Some(r) = rect.clipped_to(self.resolution) {
+            for y in r.y..r.bottom() {
+                let row = self.index(r.x, y);
+                self.pixels[row..row + r.width as usize].fill(q);
+            }
+        }
+        self.generation += 1;
+    }
+
+    /// Copies the entirety of `src` into this buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if resolutions differ.
+    pub fn copy_from(&mut self, src: &FrameBuffer) {
+        assert_eq!(
+            self.resolution, src.resolution,
+            "copy_from requires matching resolutions"
+        );
+        if self.format == src.format {
+            self.pixels.copy_from_slice(&src.pixels);
+        } else {
+            for (dst, &s) in self.pixels.iter_mut().zip(&src.pixels) {
+                *dst = self.format.quantize(s);
+            }
+        }
+        self.generation += 1;
+    }
+
+    /// Copies `rect` (clipped) from `src` into the same position here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if resolutions differ.
+    pub fn copy_rect_from(&mut self, src: &FrameBuffer, rect: Rect) {
+        assert_eq!(
+            self.resolution, src.resolution,
+            "copy_rect_from requires matching resolutions"
+        );
+        if let Some(r) = rect.clipped_to(self.resolution) {
+            for y in r.y..r.bottom() {
+                let i = self.index(r.x, y);
+                let w = r.width as usize;
+                if self.format == src.format {
+                    let (a, b) = (i, i + w);
+                    self.pixels[a..b].copy_from_slice(&src.pixels[a..b]);
+                } else {
+                    for dx in 0..w {
+                        self.pixels[i + dx] = self.format.quantize(src.pixels[i + dx]);
+                    }
+                }
+            }
+        }
+        self.generation += 1;
+    }
+
+    /// Shifts the buffer contents up by `dy` pixels (a scroll), filling the
+    /// exposed bottom band with `fill`.
+    pub fn scroll_up(&mut self, dy: u32, fill: Pixel) {
+        let h = self.resolution.height;
+        let w = self.resolution.width as usize;
+        let dy = dy.min(h);
+        if dy > 0 && dy < h {
+            let shift = dy as usize * w;
+            self.pixels.copy_within(shift.., 0);
+        }
+        let q = self.format.quantize(fill);
+        let start = ((h - dy) as usize) * w;
+        self.pixels[start..].fill(q);
+        self.generation += 1;
+    }
+
+    /// A read-only view of all pixels in row-major order.
+    pub fn as_pixels(&self) -> &[Pixel] {
+        &self.pixels
+    }
+
+    /// Mean luminance of the whole buffer in `[0, 1]`.
+    ///
+    /// This is an O(pixels) scan; it exists for the OLED power extension
+    /// and for tests, not for the per-frame hot path.
+    pub fn mean_luminance(&self) -> f64 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        self.pixels.iter().map(|p| p.luminance()).sum::<f64>() / self.pixels.len() as f64
+    }
+
+    fn index(&self, x: u32, y: u32) -> usize {
+        (y as usize) * (self.resolution.width as usize) + x as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_buffer_is_black_generation_zero() {
+        let fb = FrameBuffer::new(Resolution::new(3, 3));
+        assert_eq!(fb.generation(), 0);
+        assert!(fb.as_pixels().iter().all(|&p| p == Pixel::BLACK));
+    }
+
+    #[test]
+    fn writes_bump_generation_once_per_batch() {
+        let mut fb = FrameBuffer::new(Resolution::new(8, 8));
+        fb.fill(Pixel::WHITE);
+        assert_eq!(fb.generation(), 1);
+        fb.fill_rect(Rect::new(0, 0, 4, 4), Pixel::BLACK);
+        assert_eq!(fb.generation(), 2);
+        fb.touch();
+        assert_eq!(fb.generation(), 3);
+    }
+
+    #[test]
+    fn fill_rect_clips_to_screen() {
+        let mut fb = FrameBuffer::new(Resolution::new(4, 4));
+        fb.fill_rect(Rect::new(2, 2, 10, 10), Pixel::WHITE);
+        assert_eq!(fb.pixel(3, 3), Pixel::WHITE);
+        assert_eq!(fb.pixel(1, 1), Pixel::BLACK);
+    }
+
+    #[test]
+    fn copy_from_round_trips() {
+        let mut a = FrameBuffer::new(Resolution::new(5, 5));
+        a.fill_rect(Rect::new(1, 1, 2, 2), Pixel::rgb(9, 9, 9));
+        let mut b = FrameBuffer::new(Resolution::new(5, 5));
+        b.copy_from(&a);
+        assert_eq!(a.as_pixels(), b.as_pixels());
+    }
+
+    #[test]
+    #[should_panic(expected = "matching resolutions")]
+    fn copy_from_rejects_mismatch() {
+        let a = FrameBuffer::new(Resolution::new(2, 2));
+        let mut b = FrameBuffer::new(Resolution::new(3, 3));
+        b.copy_from(&a);
+    }
+
+    #[test]
+    fn scroll_up_moves_rows() {
+        let mut fb = FrameBuffer::new(Resolution::new(2, 4));
+        fb.fill_rect(Rect::new(0, 0, 2, 1), Pixel::WHITE); // top row white
+        fb.scroll_up(1, Pixel::grey(7));
+        // White row moved off the top; bottom row filled with grey.
+        assert!(fb.as_pixels()[..6].iter().all(|&p| p == Pixel::BLACK));
+        assert!(fb.as_pixels()[6..].iter().all(|&p| p == Pixel::grey(7)));
+    }
+
+    #[test]
+    fn scroll_up_full_height_clears() {
+        let mut fb = FrameBuffer::new(Resolution::new(2, 2));
+        fb.fill(Pixel::WHITE);
+        fb.scroll_up(5, Pixel::BLACK);
+        assert!(fb.as_pixels().iter().all(|&p| p == Pixel::BLACK));
+    }
+
+    #[test]
+    fn rgb565_buffer_quantizes_writes() {
+        let mut fb = FrameBuffer::with_format(Resolution::new(2, 2), PixelFormat::Rgb565);
+        fb.set_pixel(0, 0, Pixel::rgb(0xFF, 0xFF, 0xFF));
+        assert_eq!(fb.pixel(0, 0), Pixel::rgb(0xF8, 0xFC, 0xF8));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn pixel_oob_panics() {
+        let fb = FrameBuffer::new(Resolution::new(2, 2));
+        let _ = fb.pixel(2, 0);
+    }
+
+    #[test]
+    fn mean_luminance_of_half_white() {
+        let mut fb = FrameBuffer::new(Resolution::new(2, 2));
+        fb.fill_rect(Rect::new(0, 0, 2, 1), Pixel::WHITE);
+        assert!((fb.mean_luminance() - 0.5).abs() < 1e-9);
+    }
+}

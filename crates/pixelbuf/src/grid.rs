@@ -1,0 +1,327 @@
+//! Grid-based framebuffer comparison (paper §3.1).
+//!
+//! Comparing every pixel of a modern panel is too slow to run per frame
+//! (Fig. 6: > 40 ms at 720×1280, against a 16.67 ms frame budget at 60 Hz).
+//! The paper instead samples the *centre pixel of each cell* of a coarse
+//! grid laid over the screen and treats that pixel as representative of the
+//! cell. [`GridSampler`] precomputes those sample positions once, so a
+//! per-frame comparison is a tight gather-and-compare over a few thousand
+//! pixels.
+
+use crate::buffer::FrameBuffer;
+use crate::geometry::Resolution;
+use crate::pixel::Pixel;
+
+/// Precomputed sample positions for grid-based comparison.
+///
+/// # Examples
+///
+/// ```
+/// use ccdem_pixelbuf::buffer::FrameBuffer;
+/// use ccdem_pixelbuf::geometry::Resolution;
+/// use ccdem_pixelbuf::grid::GridSampler;
+/// use ccdem_pixelbuf::pixel::Pixel;
+///
+/// let res = Resolution::GALAXY_S3;
+/// // The paper's 9K-pixel configuration: a 72×128 grid.
+/// let sampler = GridSampler::new(res, 72, 128);
+/// assert_eq!(sampler.sample_count(), 9216);
+///
+/// let mut fb = FrameBuffer::new(res);
+/// let before = sampler.sample(&fb);
+/// fb.fill(Pixel::WHITE);
+/// assert!(sampler.differs(&fb, &before));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridSampler {
+    resolution: Resolution,
+    cols: u32,
+    rows: u32,
+    indices: Vec<usize>,
+}
+
+impl GridSampler {
+    /// Creates a sampler with a `cols`×`rows` grid over `resolution`,
+    /// sampling the centre pixel of each cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols`/`rows` is zero or exceeds the resolution.
+    pub fn new(resolution: Resolution, cols: u32, rows: u32) -> GridSampler {
+        assert!(cols > 0 && rows > 0, "grid dimensions must be non-zero");
+        assert!(
+            cols <= resolution.width && rows <= resolution.height,
+            "grid {cols}x{rows} exceeds resolution {resolution}"
+        );
+        let w = resolution.width as usize;
+        let mut indices = Vec::with_capacity((cols as usize) * (rows as usize));
+        for gy in 0..rows {
+            // Centre of the cell, in pixel coordinates.
+            let y = ((2 * gy + 1) * resolution.height) / (2 * rows);
+            for gx in 0..cols {
+                let x = ((2 * gx + 1) * resolution.width) / (2 * cols);
+                indices.push((y as usize) * w + x as usize);
+            }
+        }
+        GridSampler {
+            resolution,
+            cols,
+            rows,
+            indices,
+        }
+    }
+
+    /// Creates a sampler that compares every pixel (the grid equals the
+    /// resolution). This is the Fig. 6 "921K" configuration.
+    pub fn full(resolution: Resolution) -> GridSampler {
+        GridSampler::new(resolution, resolution.width, resolution.height)
+    }
+
+    /// Creates a sampler whose sample count is at most `budget` pixels,
+    /// with the grid shaped to the screen's aspect ratio.
+    ///
+    /// For the Galaxy S3 (720×1280) the paper's budgets map to:
+    /// 2304 → 36×64, 9216 → 72×128, 36864 → 144×256.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero.
+    pub fn for_pixel_budget(resolution: Resolution, budget: usize) -> GridSampler {
+        assert!(budget > 0, "pixel budget must be non-zero");
+        if budget >= resolution.pixel_count() {
+            return GridSampler::full(resolution);
+        }
+        let aspect = f64::from(resolution.width) / f64::from(resolution.height);
+        let mut cols = ((budget as f64 * aspect).sqrt().floor() as u32)
+            .clamp(1, resolution.width);
+        let mut rows = ((budget / cols as usize) as u32).clamp(1, resolution.height);
+        // Guard rounding: never exceed the budget.
+        while (cols as usize) * (rows as usize) > budget {
+            if rows > 1 {
+                rows -= 1;
+            } else {
+                cols -= 1;
+            }
+        }
+        GridSampler::new(resolution, cols, rows)
+    }
+
+    /// The resolution this sampler was built for.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Grid width in cells.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Grid height in cells.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of pixels compared per frame.
+    pub fn sample_count(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Gathers the sampled pixels of `buffer` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer resolution does not match the sampler's.
+    pub fn sample(&self, buffer: &FrameBuffer) -> Vec<Pixel> {
+        let mut out = vec![Pixel::TRANSPARENT; self.indices.len()];
+        self.sample_into(buffer, &mut out);
+        out
+    }
+
+    /// Gathers the sampled pixels of `buffer` into `out`, resizing it to
+    /// [`sample_count`](Self::sample_count). Reusing `out` across frames
+    /// avoids per-frame allocation (this is the double-buffering "extra
+    /// buffer" of §3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer resolution does not match the sampler's.
+    pub fn sample_into(&self, buffer: &FrameBuffer, out: &mut Vec<Pixel>) {
+        assert_eq!(
+            buffer.resolution(),
+            self.resolution,
+            "buffer resolution does not match sampler"
+        );
+        let pixels = buffer.as_pixels();
+        out.resize(self.indices.len(), Pixel::TRANSPARENT);
+        for (dst, &i) in out.iter_mut().zip(&self.indices) {
+            *dst = pixels[i];
+        }
+    }
+
+    /// Whether the current buffer content differs from a previously
+    /// captured sample at any grid point. Early-exits on the first
+    /// difference, so redundant frames pay the full scan and changed
+    /// frames usually return almost immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if resolutions mismatch or `previous` has the wrong length.
+    pub fn differs(&self, buffer: &FrameBuffer, previous: &[Pixel]) -> bool {
+        assert_eq!(
+            buffer.resolution(),
+            self.resolution,
+            "buffer resolution does not match sampler"
+        );
+        assert_eq!(
+            previous.len(),
+            self.indices.len(),
+            "previous sample has wrong length"
+        );
+        let pixels = buffer.as_pixels();
+        self.indices
+            .iter()
+            .zip(previous)
+            .any(|(&i, &prev)| pixels[i] != prev)
+    }
+
+    /// Number of grid points whose pixel differs from the captured sample.
+    pub fn changed_points(&self, buffer: &FrameBuffer, previous: &[Pixel]) -> usize {
+        assert_eq!(
+            buffer.resolution(),
+            self.resolution,
+            "buffer resolution does not match sampler"
+        );
+        assert_eq!(
+            previous.len(),
+            self.indices.len(),
+            "previous sample has wrong length"
+        );
+        let pixels = buffer.as_pixels();
+        self.indices
+            .iter()
+            .zip(previous)
+            .filter(|&(&i, &prev)| pixels[i] != prev)
+            .count()
+    }
+
+    /// The `(x, y)` screen position of each sample point.
+    pub fn positions(&self) -> Vec<(u32, u32)> {
+        let w = self.resolution.width as usize;
+        self.indices
+            .iter()
+            .map(|&i| ((i % w) as u32, (i / w) as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Rect;
+
+    #[test]
+    fn paper_grid_dimensions() {
+        let res = Resolution::GALAXY_S3;
+        assert_eq!(GridSampler::new(res, 36, 64).sample_count(), 2304);
+        assert_eq!(GridSampler::new(res, 48, 85).sample_count(), 4080);
+        assert_eq!(GridSampler::new(res, 72, 128).sample_count(), 9216);
+        assert_eq!(GridSampler::new(res, 144, 256).sample_count(), 36864);
+        assert_eq!(GridSampler::full(res).sample_count(), 921_600);
+    }
+
+    #[test]
+    fn budget_sampler_respects_budget_and_aspect() {
+        let res = Resolution::GALAXY_S3;
+        for budget in [2304usize, 4080, 9216, 36864, 100_000] {
+            let g = GridSampler::for_pixel_budget(res, budget);
+            assert!(g.sample_count() <= budget, "budget {budget} exceeded");
+            assert!(g.sample_count() * 2 > budget, "budget {budget} underused");
+        }
+        let full = GridSampler::for_pixel_budget(res, usize::MAX);
+        assert_eq!(full.sample_count(), res.pixel_count());
+    }
+
+    #[test]
+    fn budget_9216_matches_paper_grid() {
+        let g = GridSampler::for_pixel_budget(Resolution::GALAXY_S3, 9216);
+        assert_eq!((g.cols(), g.rows()), (72, 128));
+    }
+
+    #[test]
+    fn positions_are_cell_centres_in_bounds() {
+        let res = Resolution::new(100, 200);
+        let g = GridSampler::new(res, 10, 20);
+        for (x, y) in g.positions() {
+            assert!(res.contains(x, y));
+        }
+        // First cell centre of a 10-col grid over 100px is pixel 5.
+        assert_eq!(g.positions()[0], (5, 5));
+    }
+
+    #[test]
+    fn identical_buffers_do_not_differ() {
+        let res = Resolution::QUARTER;
+        let g = GridSampler::for_pixel_budget(res, 1000);
+        let fb = FrameBuffer::new(res);
+        let snap = g.sample(&fb);
+        assert!(!g.differs(&fb, &snap));
+        assert_eq!(g.changed_points(&fb, &snap), 0);
+    }
+
+    #[test]
+    fn full_screen_change_detected() {
+        let res = Resolution::QUARTER;
+        let g = GridSampler::for_pixel_budget(res, 1000);
+        let mut fb = FrameBuffer::new(res);
+        let snap = g.sample(&fb);
+        fb.fill(Pixel::WHITE);
+        assert!(g.differs(&fb, &snap));
+        assert_eq!(g.changed_points(&fb, &snap), g.sample_count());
+    }
+
+    #[test]
+    fn tiny_change_between_grid_points_is_missed() {
+        // This is the Fig. 6 failure mode for coarse grids: a change
+        // smaller than a grid cell that avoids every sample point.
+        let res = Resolution::new(100, 100);
+        let g = GridSampler::new(res, 2, 2); // samples at (25,25),(75,25),...
+        let mut fb = FrameBuffer::new(res);
+        let snap = g.sample(&fb);
+        fb.fill_rect(Rect::new(0, 0, 3, 3), Pixel::WHITE);
+        assert!(!g.differs(&fb, &snap), "coarse grid should miss a 3x3 change");
+        // The full sampler never misses.
+        let full = GridSampler::full(res);
+        let mut fb2 = FrameBuffer::new(res);
+        let snap2 = full.sample(&fb2);
+        fb2.fill_rect(Rect::new(0, 0, 3, 3), Pixel::WHITE);
+        assert!(full.differs(&fb2, &snap2));
+    }
+
+    #[test]
+    fn sample_into_reuses_allocation() {
+        let res = Resolution::QUARTER;
+        let g = GridSampler::for_pixel_budget(res, 500);
+        let fb = FrameBuffer::new(res);
+        let mut buf = Vec::new();
+        g.sample_into(&fb, &mut buf);
+        assert_eq!(buf.len(), g.sample_count());
+        let ptr = buf.as_ptr();
+        g.sample_into(&fb, &mut buf);
+        assert_eq!(buf.as_ptr(), ptr, "no reallocation expected");
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn differs_rejects_bad_snapshot() {
+        let res = Resolution::QUARTER;
+        let g = GridSampler::for_pixel_budget(res, 500);
+        let fb = FrameBuffer::new(res);
+        let _ = g.differs(&fb, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds resolution")]
+    fn grid_larger_than_screen_rejected() {
+        let _ = GridSampler::new(Resolution::new(10, 10), 11, 10);
+    }
+}

@@ -1,0 +1,54 @@
+//! # ccdem-pixelbuf
+//!
+//! Framebuffers and pixel machinery for the `ccdem` display-energy
+//! simulator:
+//!
+//! * [`pixel`] — RGBA pixels and pixel formats.
+//! * [`geometry`] — resolutions and rectangles.
+//! * [`buffer`] — the software framebuffer with a write-generation counter.
+//! * [`double_buffer`] — the snapshot pair used by content-rate metering
+//!   (paper §3.1, "double buffering").
+//! * [`grid`] — grid-based sparse comparison (paper §3.1, "grid-based
+//!   comparison"), including the exact Galaxy S3 grid configurations of
+//!   Fig. 6.
+//! * [`diff`] — exhaustive ground-truth comparison.
+//! * [`draw`] — drawing primitives for the synthetic workloads.
+//! * [`ppm`] — one-call PPM dumps of framebuffers for debugging.
+//!
+//! # Examples
+//!
+//! Detecting a redundant frame with a sparse grid, exactly as the paper's
+//! meter does:
+//!
+//! ```
+//! use ccdem_pixelbuf::buffer::FrameBuffer;
+//! use ccdem_pixelbuf::geometry::Resolution;
+//! use ccdem_pixelbuf::grid::GridSampler;
+//! use ccdem_pixelbuf::pixel::Pixel;
+//!
+//! let res = Resolution::GALAXY_S3;
+//! let sampler = GridSampler::for_pixel_budget(res, 9216);
+//! let mut fb = FrameBuffer::new(res);
+//!
+//! let snapshot = sampler.sample(&fb);
+//! fb.touch(); // app re-submitted identical content
+//! assert!(!sampler.differs(&fb, &snapshot)); // redundant frame
+//!
+//! fb.fill(Pixel::WHITE); // real content change
+//! assert!(sampler.differs(&fb, &snapshot)); // meaningful frame
+//! ```
+
+pub mod buffer;
+pub mod diff;
+pub mod double_buffer;
+pub mod draw;
+pub mod geometry;
+pub mod grid;
+pub mod pixel;
+pub mod ppm;
+
+pub use buffer::FrameBuffer;
+pub use double_buffer::DoubleBuffer;
+pub use geometry::{Rect, Resolution};
+pub use grid::GridSampler;
+pub use pixel::{Pixel, PixelFormat};

@@ -1,0 +1,95 @@
+//! PPM image export for debugging framebuffers.
+//!
+//! Binary PPM (P6) is the simplest image format every viewer opens; a
+//! one-call dump of a framebuffer makes "what did the compositor
+//! actually draw?" a ten-second question while debugging workloads or
+//! metering misses.
+
+use std::io::{self, Write};
+
+use crate::buffer::FrameBuffer;
+
+/// Writes `buffer` as a binary PPM (P6) image.
+///
+/// Alpha is dropped; pixels are written in row-major order.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `out`.
+///
+/// # Examples
+///
+/// ```
+/// use ccdem_pixelbuf::buffer::FrameBuffer;
+/// use ccdem_pixelbuf::geometry::Resolution;
+/// use ccdem_pixelbuf::pixel::Pixel;
+/// use ccdem_pixelbuf::ppm::write_ppm;
+///
+/// # fn main() -> std::io::Result<()> {
+/// let mut fb = FrameBuffer::new(Resolution::new(2, 1));
+/// fb.set_pixel(0, 0, Pixel::rgb(255, 0, 0));
+/// let mut out = Vec::new();
+/// write_ppm(&fb, &mut out)?;
+/// assert!(out.starts_with(b"P6\n2 1\n255\n"));
+/// assert_eq!(&out[out.len() - 6..], &[255, 0, 0, 0, 0, 0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_ppm<W: Write>(buffer: &FrameBuffer, mut out: W) -> io::Result<()> {
+    let res = buffer.resolution();
+    write!(out, "P6\n{} {}\n255\n", res.width, res.height)?;
+    // Stream row by row to bound the temporary buffer.
+    let mut row = Vec::with_capacity(res.width as usize * 3);
+    for y in 0..res.height {
+        row.clear();
+        for x in 0..res.width {
+            let p = buffer.pixel(x, y);
+            row.extend_from_slice(&[p.red(), p.green(), p.blue()]);
+        }
+        out.write_all(&row)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{Rect, Resolution};
+    use crate::pixel::Pixel;
+
+    #[test]
+    fn header_and_size_correct() {
+        let fb = FrameBuffer::new(Resolution::new(3, 2));
+        let mut out = Vec::new();
+        write_ppm(&fb, &mut out).unwrap();
+        let header = b"P6\n3 2\n255\n";
+        assert!(out.starts_with(header));
+        assert_eq!(out.len(), header.len() + 3 * 2 * 3);
+    }
+
+    #[test]
+    fn pixels_in_row_major_rgb() {
+        let mut fb = FrameBuffer::new(Resolution::new(2, 2));
+        fb.fill_rect(Rect::new(1, 0, 1, 1), Pixel::rgb(10, 20, 30));
+        let mut out = Vec::new();
+        write_ppm(&fb, &mut out).unwrap();
+        let data = &out[out.len() - 12..];
+        assert_eq!(&data[0..3], &[0, 0, 0]); // (0,0) black
+        assert_eq!(&data[3..6], &[10, 20, 30]); // (1,0)
+    }
+
+    #[test]
+    fn failing_writer_propagates_error() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("broken pipe"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let fb = FrameBuffer::new(Resolution::new(2, 2));
+        assert!(write_ppm(&fb, Broken).is_err());
+    }
+}

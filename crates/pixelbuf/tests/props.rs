@@ -1,0 +1,164 @@
+//! Property-based tests for framebuffers, geometry and grid sampling.
+
+use ccdem_pixelbuf::buffer::FrameBuffer;
+use ccdem_pixelbuf::diff::{buffers_equal, changed_pixel_count};
+use ccdem_pixelbuf::double_buffer::DoubleBuffer;
+use ccdem_pixelbuf::geometry::{Rect, Resolution};
+use ccdem_pixelbuf::grid::GridSampler;
+use ccdem_pixelbuf::pixel::Pixel;
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0u32..150, 0u32..150, 0u32..150, 0u32..150).prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+}
+
+proptest! {
+    /// Rect intersection is commutative and contained in both operands.
+    #[test]
+    fn rect_intersection_sound(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersection(b), b.intersection(a));
+        if let Some(i) = a.intersection(b) {
+            prop_assert!(i.area() <= a.area());
+            prop_assert!(i.area() <= b.area());
+            prop_assert!(i.x >= a.x && i.right() <= a.right());
+            prop_assert!(i.y >= b.y.min(i.y) && i.bottom() <= b.bottom());
+        }
+    }
+
+    /// Union contains both operands; intersection (if any) is inside the
+    /// union.
+    #[test]
+    fn rect_union_contains_operands(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(b);
+        for r in [a, b] {
+            if !r.is_empty() {
+                prop_assert!(u.contains(r.x, r.y));
+                prop_assert!(u.contains(r.right() - 1, r.bottom() - 1));
+            }
+        }
+        if let Some(i) = a.intersection(b) {
+            prop_assert_eq!(u.intersection(i), Some(i));
+        }
+    }
+
+    /// A sampler never exceeds its pixel budget, and all sample
+    /// positions are on-screen.
+    #[test]
+    fn sampler_budget_and_bounds(
+        w in 8u32..200,
+        h in 8u32..200,
+        budget in 1usize..10_000,
+    ) {
+        let res = Resolution::new(w, h);
+        let g = GridSampler::for_pixel_budget(res, budget);
+        prop_assert!(g.sample_count() <= budget.max(64).max(g.sample_count().min(budget)));
+        prop_assert!(g.sample_count() <= res.pixel_count());
+        for (x, y) in g.positions() {
+            prop_assert!(res.contains(x, y));
+        }
+    }
+
+    /// Soundness: if the sampler reports a difference, the buffers truly
+    /// differ (no false positives, ever).
+    #[test]
+    fn sampler_reports_no_false_positives(
+        w in 8u32..64,
+        h in 8u32..64,
+        budget in 1usize..2_000,
+        rect in arb_rect(),
+        grey in 1u8..255,
+    ) {
+        let res = Resolution::new(w, h);
+        let g = GridSampler::for_pixel_budget(res, budget);
+        let before = FrameBuffer::new(res);
+        let snapshot = g.sample(&before);
+        let mut after = before.clone();
+        after.fill_rect(rect, Pixel::grey(grey));
+        if g.differs(&after, &snapshot) {
+            prop_assert!(!buffers_equal(&before, &after));
+        }
+        // And the full sampler is exact in both directions.
+        let full = GridSampler::full(res);
+        let full_snapshot = full.sample(&before);
+        prop_assert_eq!(
+            full.differs(&after, &full_snapshot),
+            !buffers_equal(&before, &after)
+        );
+    }
+
+    /// changed_points never exceeds the true changed-pixel count.
+    #[test]
+    fn sampled_changes_bounded_by_true_changes(
+        w in 8u32..64,
+        h in 8u32..64,
+        rect in arb_rect(),
+    ) {
+        let res = Resolution::new(w, h);
+        let g = GridSampler::for_pixel_budget(res, 500);
+        let before = FrameBuffer::new(res);
+        let snap = g.sample(&before);
+        let mut after = before.clone();
+        after.fill_rect(rect, Pixel::WHITE);
+        prop_assert!(g.changed_points(&after, &snap) <= changed_pixel_count(&before, &after));
+    }
+
+    /// Double-buffer protocol: after n captures, front is the latest
+    /// frame and back the one before it.
+    #[test]
+    fn double_buffer_holds_last_two(greys in proptest::collection::vec(1u8..=255, 2..20)) {
+        let res = Resolution::new(4, 4);
+        let mut db = DoubleBuffer::new(res);
+        let mut fb = FrameBuffer::new(res);
+        for &g in &greys {
+            fb.fill(Pixel::grey(g));
+            db.capture(&fb);
+        }
+        let n = greys.len();
+        prop_assert_eq!(db.front().pixel(0, 0), Pixel::grey(greys[n - 1]));
+        prop_assert_eq!(db.back().pixel(0, 0), Pixel::grey(greys[n - 2]));
+        prop_assert_eq!(db.captures(), n as u64);
+    }
+
+    /// Scrolling by the full height (or more) is equivalent to a fill.
+    #[test]
+    fn full_scroll_equals_fill(h in 1u32..40, dy in 0u32..80, grey in 0u8..=255) {
+        let res = Resolution::new(8, h);
+        let mut scrolled = FrameBuffer::new(res);
+        scrolled.fill(Pixel::grey(77));
+        scrolled.scroll_up(dy, Pixel::grey(grey));
+        if dy >= h {
+            let mut filled = FrameBuffer::new(res);
+            filled.fill(Pixel::grey(grey));
+            prop_assert!(buffers_equal(&scrolled, &filled));
+        } else if dy > 0 {
+            // The bottom band is the fill colour.
+            prop_assert_eq!(scrolled.pixel(0, h - 1), Pixel::grey(grey));
+        }
+    }
+
+    /// Pixel channel round trip through the packed word.
+    #[test]
+    fn pixel_round_trips(r in any::<u8>(), g in any::<u8>(), b in any::<u8>(), a in any::<u8>()) {
+        let p = Pixel::rgba(r, g, b, a);
+        prop_assert_eq!((p.red(), p.green(), p.blue(), p.alpha()), (r, g, b, a));
+        prop_assert_eq!(Pixel::from_bits(p.to_bits()), p);
+    }
+
+    /// Alpha blending stays within channel bounds and is exact at the
+    /// extremes.
+    #[test]
+    fn over_is_bounded(src in any::<u32>(), dst in any::<u32>()) {
+        let s = Pixel::from_bits(src);
+        let d = Pixel::from_bits(dst | 0xFF00_0000);
+        let o = s.over(d);
+        prop_assert_eq!(o.alpha(), 255);
+        for (ch, (a, b)) in [
+            (o.red(), (s.red(), d.red())),
+            (o.green(), (s.green(), d.green())),
+            (o.blue(), (s.blue(), d.blue())),
+        ] {
+            prop_assert!(ch >= a.min(b).saturating_sub(1));
+            prop_assert!(ch <= a.max(b).saturating_add(1));
+        }
+    }
+}

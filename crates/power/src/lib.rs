@@ -1,0 +1,42 @@
+//! # ccdem-power
+//!
+//! Device power modelling for the `ccdem` simulator:
+//!
+//! * [`units`] — [`units::Milliwatts`] and [`units::Millijoules`] newtypes.
+//! * [`model`] — the component power model (base + panel static +
+//!   scanout-per-Hz + composition-per-frame + touch), calibrated for the
+//!   Galaxy S3 at 50% brightness, with an optional OLED content-scaling
+//!   extension.
+//! * [`meter`] — a Monsoon-like sampling meter with Gaussian noise and an
+//!   energy integral.
+//! * [`battery`] — battery-life projection, turning milliwatt savings
+//!   into minutes of screen-on time.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccdem_power::model::{DisplayActivity, PowerCoefficients};
+//!
+//! let model = PowerCoefficients::galaxy_s3();
+//! let fixed_60 = model.power(&DisplayActivity {
+//!     refresh_hz: 60.0, composed_fps: 60.0, touch_active: false,
+//!     mean_luminance: None, content_scanout_fps: None,
+//! });
+//! let governed = model.power(&DisplayActivity {
+//!     refresh_hz: 24.0, composed_fps: 24.0, touch_active: false,
+//!     mean_luminance: None, content_scanout_fps: None,
+//! });
+//! // A redundant 60 fps game governed down to 24 Hz saves hundreds of mW.
+//! let saved = (fixed_60 - governed).value();
+//! assert!(saved > 300.0 && saved < 600.0);
+//! ```
+
+pub mod battery;
+pub mod meter;
+pub mod model;
+pub mod units;
+
+pub use battery::Battery;
+pub use meter::PowerMeter;
+pub use model::{DisplayActivity, PowerCoefficients};
+pub use units::{Millijoules, Milliwatts};

@@ -1,0 +1,378 @@
+//! Time-series traces recorded during a simulation run.
+//!
+//! Two shapes cover everything the evaluation needs:
+//!
+//! * [`Trace`] — a timestamped sequence of sampled values (refresh rate,
+//!   instantaneous power, content rate), resampled into per-second bins for
+//!   plotting against the paper's figures.
+//! * [`EventCounter`] — timestamps of discrete occurrences (frame updates,
+//!   touches), binned into per-second rates.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A timestamped series of `f64` samples.
+///
+/// Samples must be pushed in non-decreasing time order.
+///
+/// # Examples
+///
+/// ```
+/// use ccdem_simkit::trace::Trace;
+/// use ccdem_simkit::time::SimTime;
+///
+/// let mut t = Trace::new();
+/// t.push(SimTime::from_millis(100), 60.0);
+/// t.push(SimTime::from_millis(600), 40.0);
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.value_at(SimTime::from_millis(300)), Some(60.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace {
+            samples: Vec::new(),
+        }
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the previous sample's time.
+    pub fn push(&mut self, time: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.samples.last() {
+            assert!(time >= last, "trace samples must be time-ordered");
+        }
+        self.samples.push((time, value));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Iterates over `(time, value)` samples.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.samples.iter().copied()
+    }
+
+    /// The sample-and-hold value at `time`: the most recent sample at or
+    /// before `time`, or `None` if `time` precedes the first sample.
+    pub fn value_at(&self, time: SimTime) -> Option<f64> {
+        match self
+            .samples
+            .binary_search_by(|&(t, _)| t.cmp(&time))
+        {
+            Ok(i) => Some(self.samples[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.samples[i - 1].1),
+        }
+    }
+
+    /// Mean of all sample values (unweighted), or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&(_, v)| v).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Time-weighted mean over `[start, end)` treating the trace as
+    /// sample-and-hold, or 0 if the trace is empty or the span is empty.
+    pub fn time_weighted_mean(&self, start: SimTime, end: SimTime) -> f64 {
+        if end <= start || self.samples.is_empty() {
+            return 0.0;
+        }
+        let span = (end - start).as_secs_f64();
+        let mut acc = 0.0;
+        let mut cursor = start;
+        let mut current = self.value_at(start);
+        for &(t, v) in &self.samples {
+            if t <= start {
+                continue;
+            }
+            if t >= end {
+                break;
+            }
+            if let Some(cur) = current {
+                acc += cur * (t - cursor).as_secs_f64();
+            }
+            cursor = t;
+            current = Some(v);
+        }
+        if let Some(cur) = current {
+            acc += cur * (end - cursor).as_secs_f64();
+        }
+        acc / span
+    }
+
+    /// Per-second sample-and-hold averages over `[0, duration)`, one value
+    /// per whole second; seconds before the first sample report 0.
+    pub fn per_second(&self, duration: SimDuration) -> Vec<f64> {
+        let secs = duration.as_micros() / 1_000_000;
+        (0..secs)
+            .map(|s| {
+                self.time_weighted_mean(SimTime::from_secs(s), SimTime::from_secs(s + 1))
+            })
+            .collect()
+    }
+
+    /// All sample values, discarding timestamps.
+    pub fn values(&self) -> Vec<f64> {
+        self.samples.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// Time-weighted residency per distinct value over `[start, end)`,
+    /// treating the trace as sample-and-hold: how long each value was
+    /// held, ascending by value. Time before the first sample is not
+    /// attributed to any value.
+    ///
+    /// For a refresh-rate trace this is "seconds spent at each rate".
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ccdem_simkit::time::SimTime;
+    /// use ccdem_simkit::trace::Trace;
+    ///
+    /// let mut t = Trace::new();
+    /// t.push(SimTime::ZERO, 60.0);
+    /// t.push(SimTime::from_secs(1), 20.0);
+    /// let res = t.residency(SimTime::ZERO, SimTime::from_secs(4));
+    /// assert_eq!(res, vec![(20.0, 3.0), (60.0, 1.0)]);
+    /// ```
+    pub fn residency(&self, start: SimTime, end: SimTime) -> Vec<(f64, f64)> {
+        if end <= start || self.samples.is_empty() {
+            return Vec::new();
+        }
+        let mut acc: Vec<(f64, f64)> = Vec::new();
+        let mut add = |value: f64, seconds: f64| {
+            if seconds <= 0.0 {
+                return;
+            }
+            match acc.iter_mut().find(|(v, _)| *v == value) {
+                Some((_, s)) => *s += seconds,
+                None => acc.push((value, seconds)),
+            }
+        };
+        let mut cursor = start;
+        let mut current = self.value_at(start);
+        for &(t, v) in &self.samples {
+            if t <= start {
+                continue;
+            }
+            if t >= end {
+                break;
+            }
+            if let Some(cur) = current {
+                add(cur, (t - cursor).as_secs_f64());
+            }
+            cursor = t;
+            current = Some(v);
+        }
+        if let Some(cur) = current {
+            add(cur, (end - cursor).as_secs_f64());
+        }
+        acc.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN in traces"));
+        acc
+    }
+}
+
+impl FromIterator<(SimTime, f64)> for Trace {
+    fn from_iter<I: IntoIterator<Item = (SimTime, f64)>>(iter: I) -> Self {
+        let mut t = Trace::new();
+        for (time, v) in iter {
+            t.push(time, v);
+        }
+        t
+    }
+}
+
+/// Timestamps of discrete events, binned into per-second rates.
+///
+/// # Examples
+///
+/// ```
+/// use ccdem_simkit::trace::EventCounter;
+/// use ccdem_simkit::time::{SimTime, SimDuration};
+///
+/// let mut c = EventCounter::new();
+/// c.record(SimTime::from_millis(100));
+/// c.record(SimTime::from_millis(900));
+/// c.record(SimTime::from_millis(1500));
+/// assert_eq!(c.per_second(SimDuration::from_secs(2)), vec![2.0, 1.0]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventCounter {
+    times: Vec<SimTime>,
+}
+
+impl EventCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        EventCounter { times: Vec::new() }
+    }
+
+    /// Records one occurrence at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the previous recorded time.
+    pub fn record(&mut self, time: SimTime) {
+        if let Some(&last) = self.times.last() {
+            assert!(time >= last, "events must be recorded in time order");
+        }
+        self.times.push(time);
+    }
+
+    /// Total number of occurrences.
+    pub fn count(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Occurrences within `[start, end)`.
+    pub fn count_in(&self, start: SimTime, end: SimTime) -> usize {
+        let lo = self.times.partition_point(|&t| t < start);
+        let hi = self.times.partition_point(|&t| t < end);
+        hi - lo
+    }
+
+    /// Mean events per second within `[start, end)`, or 0 for an empty span.
+    pub fn rate_in(&self, start: SimTime, end: SimTime) -> f64 {
+        if end <= start {
+            return 0.0;
+        }
+        self.count_in(start, end) as f64 / (end - start).as_secs_f64()
+    }
+
+    /// Events per second for each whole second of `[0, duration)`.
+    pub fn per_second(&self, duration: SimDuration) -> Vec<f64> {
+        let secs = duration.as_micros() / 1_000_000;
+        (0..secs)
+            .map(|s| self.count_in(SimTime::from_secs(s), SimTime::from_secs(s + 1)) as f64)
+            .collect()
+    }
+
+    /// Iterates over recorded timestamps.
+    pub fn iter(&self) -> impl Iterator<Item = SimTime> + '_ {
+        self.times.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_at_sample_and_hold() {
+        let t: Trace = vec![
+            (SimTime::from_secs(1), 10.0),
+            (SimTime::from_secs(3), 30.0),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.value_at(SimTime::ZERO), None);
+        assert_eq!(t.value_at(SimTime::from_secs(1)), Some(10.0));
+        assert_eq!(t.value_at(SimTime::from_secs(2)), Some(10.0));
+        assert_eq!(t.value_at(SimTime::from_secs(5)), Some(30.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn push_rejects_time_regression() {
+        let mut t = Trace::new();
+        t.push(SimTime::from_secs(2), 1.0);
+        t.push(SimTime::from_secs(1), 2.0);
+    }
+
+    #[test]
+    fn time_weighted_mean_weighs_holds() {
+        let mut t = Trace::new();
+        t.push(SimTime::ZERO, 60.0);
+        t.push(SimTime::from_millis(500), 20.0);
+        // 0.5s at 60 + 0.5s at 20 = mean 40 over [0, 1s).
+        let m = t.time_weighted_mean(SimTime::ZERO, SimTime::from_secs(1));
+        assert!((m - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_mean_before_first_sample_is_partial() {
+        let mut t = Trace::new();
+        t.push(SimTime::from_millis(500), 10.0);
+        // Undefined for first half, 10 for second half -> 5.0.
+        let m = t.time_weighted_mean(SimTime::ZERO, SimTime::from_secs(1));
+        assert!((m - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_second_bins() {
+        let mut t = Trace::new();
+        t.push(SimTime::ZERO, 2.0);
+        t.push(SimTime::from_secs(1), 4.0);
+        assert_eq!(t.per_second(SimDuration::from_secs(2)), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn residency_partitions_the_span() {
+        let mut t = Trace::new();
+        t.push(SimTime::ZERO, 60.0);
+        t.push(SimTime::from_millis(500), 20.0);
+        t.push(SimTime::from_secs(2), 60.0);
+        let res = t.residency(SimTime::ZERO, SimTime::from_secs(3));
+        // 0.5 s at 60, 1.5 s at 20, 1 s at 60 again -> merged per value.
+        assert_eq!(res, vec![(20.0, 1.5), (60.0, 1.5)]);
+        let total: f64 = res.iter().map(|&(_, s)| s).sum();
+        assert!((total - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn residency_ignores_time_before_first_sample() {
+        let mut t = Trace::new();
+        t.push(SimTime::from_secs(2), 30.0);
+        let res = t.residency(SimTime::ZERO, SimTime::from_secs(5));
+        assert_eq!(res, vec![(30.0, 3.0)]);
+    }
+
+    #[test]
+    fn residency_of_empty_span_is_empty() {
+        let mut t = Trace::new();
+        t.push(SimTime::ZERO, 1.0);
+        assert!(t.residency(SimTime::from_secs(1), SimTime::from_secs(1)).is_empty());
+        assert!(Trace::new().residency(SimTime::ZERO, SimTime::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn counter_rates() {
+        let mut c = EventCounter::new();
+        for i in 0..10 {
+            c.record(SimTime::from_millis(i * 100));
+        }
+        assert_eq!(c.count(), 10);
+        assert_eq!(c.count_in(SimTime::ZERO, SimTime::from_secs(1)), 10);
+        assert!((c.rate_in(SimTime::ZERO, SimTime::from_millis(500)) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counter_empty_span_rate_zero() {
+        let c = EventCounter::new();
+        assert_eq!(c.rate_in(SimTime::from_secs(1), SimTime::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn counter_rejects_regression() {
+        let mut c = EventCounter::new();
+        c.record(SimTime::from_secs(1));
+        c.record(SimTime::ZERO);
+    }
+}

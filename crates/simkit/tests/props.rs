@@ -1,0 +1,108 @@
+//! Property-based tests for the simulation primitives.
+
+use ccdem_simkit::event::EventQueue;
+use ccdem_simkit::stats::{quantile, RunningStats};
+use ccdem_simkit::time::{SimDuration, SimTime};
+use ccdem_simkit::trace::{EventCounter, Trace};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping the queue always yields events in non-decreasing time
+    /// order, regardless of insertion order.
+    #[test]
+    fn queue_pops_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut prev = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    /// Equal-time events pop in insertion (FIFO) order.
+    #[test]
+    fn queue_equal_times_fifo(n in 1usize..100, t in 0u64..1_000) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let popped: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        prop_assert_eq!(popped, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Welford merge gives the same result as sequential accumulation.
+    #[test]
+    fn stats_merge_equals_sequential(
+        a in proptest::collection::vec(-1e6f64..1e6, 0..100),
+        b in proptest::collection::vec(-1e6f64..1e6, 0..100),
+    ) {
+        let mut merged: RunningStats = a.iter().copied().collect();
+        let rhs: RunningStats = b.iter().copied().collect();
+        merged.merge(&rhs);
+        let seq: RunningStats = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged.count(), seq.count());
+        prop_assert!((merged.mean() - seq.mean()).abs() <= 1e-6 * (1.0 + seq.mean().abs()));
+        prop_assert!(
+            (merged.sample_std_dev() - seq.sample_std_dev()).abs()
+                <= 1e-6 * (1.0 + seq.sample_std_dev())
+        );
+    }
+
+    /// A quantile always lies within the sample range and is monotone
+    /// in `q`.
+    #[test]
+    fn quantile_bounded_and_monotone(
+        mut values in proptest::collection::vec(-1e9f64..1e9, 1..80),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let lo = quantile(&values, lo_q).unwrap();
+        let hi = quantile(&values, hi_q).unwrap();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(lo >= values[0] - 1e-9);
+        prop_assert!(hi <= values[values.len() - 1] + 1e-9);
+        prop_assert!(lo <= hi + 1e-9);
+    }
+
+    /// The time-weighted mean of a sample-and-hold trace lies within the
+    /// range of its sample values.
+    #[test]
+    fn trace_time_weighted_mean_bounded(
+        samples in proptest::collection::vec((0u64..10_000_000, -1e3f64..1e3), 1..50),
+    ) {
+        let mut sorted = samples.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let trace: Trace = sorted
+            .iter()
+            .map(|&(t, v)| (SimTime::from_micros(t), v))
+            .collect();
+        let start = SimTime::ZERO;
+        let end = SimTime::from_micros(10_000_001);
+        let mean = trace.time_weighted_mean(start, end);
+        let min = sorted.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+        let max = sorted.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max);
+        // The span before the first sample contributes zero, which can
+        // pull the mean toward 0: widen the bound to include 0.
+        prop_assert!(mean >= min.min(0.0) - 1e-9, "mean {mean} below {min}");
+        prop_assert!(mean <= max.max(0.0) + 1e-9, "mean {mean} above {max}");
+    }
+
+    /// Per-second counts sum to the total count of in-range events.
+    #[test]
+    fn counter_per_second_partitions(
+        mut times in proptest::collection::vec(0u64..5_000_000, 0..200),
+    ) {
+        times.sort_unstable();
+        let mut c = EventCounter::new();
+        for &t in &times {
+            c.record(SimTime::from_micros(t));
+        }
+        let per_sec = c.per_second(SimDuration::from_secs(5));
+        let sum: f64 = per_sec.iter().sum();
+        prop_assert_eq!(sum as usize, times.len());
+    }
+}

@@ -1,0 +1,149 @@
+//! The application model interface.
+//!
+//! A workload is a process that periodically submits frames to the
+//! compositor. Each submission either changes the on-screen content or is
+//! *redundant* (identical pixels resubmitted — the waste the paper
+//! quantifies in Fig. 3). The model owns both the temporal behaviour
+//! (when to submit, how the rate reacts to touches) and the spatial
+//! behaviour (what kind of pixel change a meaningful frame makes).
+
+use std::fmt;
+
+use ccdem_pixelbuf::buffer::FrameBuffer;
+use ccdem_simkit::rng::SimRng;
+use ccdem_simkit::time::{SimDuration, SimTime};
+
+/// The paper's two evaluated application classes, plus live wallpapers
+/// (used only by the Fig. 6 accuracy experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppClass {
+    /// Non-game applications (social, maps, utilities, video).
+    General,
+    /// Games.
+    Game,
+    /// Live wallpapers.
+    Wallpaper,
+}
+
+impl fmt::Display for AppClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppClass::General => write!(f, "general"),
+            AppClass::Game => write!(f, "game"),
+            AppClass::Wallpaper => write!(f, "wallpaper"),
+        }
+    }
+}
+
+/// The spatial shape of one frame's content change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContentChange {
+    /// No pixel changed: a redundant frame.
+    None,
+    /// The whole screen was redrawn (game frame, video frame).
+    FullRedraw,
+    /// Content scrolled vertically by the given pixel distance.
+    Scroll {
+        /// Scroll distance in pixels.
+        dy: u32,
+    },
+    /// A small widget-sized region changed (clock tick, progress bar).
+    Widget,
+    /// Wallpaper dots moved (tiny scattered changes; the grid sampler's
+    /// worst case).
+    Dots,
+}
+
+impl ContentChange {
+    /// Whether this change alters any pixels.
+    pub fn is_content(self) -> bool {
+        !matches!(self, ContentChange::None)
+    }
+}
+
+/// What an application does at one submission opportunity: the change to
+/// render now, and the delay until its next submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameTick {
+    /// The content change carried by this frame.
+    pub change: ContentChange,
+    /// Delay until the app's next frame submission.
+    pub next_in: SimDuration,
+}
+
+/// Input context handed to the model at each tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InputContext {
+    /// Time of the most recent touch event, if any.
+    pub last_touch: Option<SimTime>,
+}
+
+impl InputContext {
+    /// Whether a touch occurred within `window` before `now`.
+    pub fn touched_within(&self, now: SimTime, window: SimDuration) -> bool {
+        match self.last_touch {
+            Some(t) => t <= now && now.saturating_since(t) <= window,
+            None => false,
+        }
+    }
+}
+
+/// A synthetic application workload.
+///
+/// Implementations must be deterministic given the `SimRng` stream they
+/// are handed: the evaluation relies on replaying the identical workload
+/// under different display policies.
+pub trait AppModel {
+    /// The application's display name (matching the paper's Fig. 3 where
+    /// applicable).
+    fn name(&self) -> &str;
+
+    /// Which evaluation class the app belongs to.
+    fn class(&self) -> AppClass;
+
+    /// Decides the current frame and the time of the next one.
+    fn tick(&mut self, now: SimTime, input: &InputContext, rng: &mut SimRng) -> FrameTick;
+
+    /// Renders `change` into the app's surface buffer. Called only for
+    /// content-carrying changes; `ContentChange::None` frames skip
+    /// rendering entirely (the app resubmits its old buffer).
+    fn render(&mut self, change: ContentChange, buffer: &mut FrameBuffer, rng: &mut SimRng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_change_predicate() {
+        assert!(!ContentChange::None.is_content());
+        assert!(ContentChange::FullRedraw.is_content());
+        assert!(ContentChange::Scroll { dy: 3 }.is_content());
+        assert!(ContentChange::Widget.is_content());
+        assert!(ContentChange::Dots.is_content());
+    }
+
+    #[test]
+    fn touched_within_window() {
+        let ctx = InputContext {
+            last_touch: Some(SimTime::from_secs(10)),
+        };
+        assert!(ctx.touched_within(SimTime::from_secs(10), SimDuration::from_secs(1)));
+        assert!(ctx.touched_within(SimTime::from_secs(11), SimDuration::from_secs(1)));
+        assert!(!ctx.touched_within(SimTime::from_secs(12), SimDuration::from_secs(1)));
+        // A future-stamped touch does not count as recent.
+        assert!(!ctx.touched_within(SimTime::from_secs(9), SimDuration::from_secs(1)));
+    }
+
+    #[test]
+    fn default_context_never_touched() {
+        let ctx = InputContext::default();
+        assert!(!ctx.touched_within(SimTime::from_secs(5), SimDuration::from_secs(100)));
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(AppClass::General.to_string(), "general");
+        assert_eq!(AppClass::Game.to_string(), "game");
+    }
+}

@@ -1,0 +1,56 @@
+//! # ccdem-workloads
+//!
+//! Synthetic application workloads for the `ccdem` simulator:
+//!
+//! * [`app`] — the [`app::AppModel`] interface: when frames are
+//!   submitted, whether each changes content, and how the change looks on
+//!   screen.
+//! * [`phased`] — the two-phase (idle / touch-active) model that captures
+//!   the paper's commercial applications.
+//! * [`catalog`] — the 30 named applications of the paper's Fig. 3, with
+//!   per-app rates pinned to the published measurements.
+//! * [`scrolling`] — a fling reader whose content rate decays with the
+//!   scroll velocity (the E3-style workload of the paper's related work).
+//! * [`switcher`] — mixed sessions rotating between apps, forcing the
+//!   governor to re-converge after each switch.
+//! * [`trace`] — replay of recorded frame logs, for evaluating the
+//!   governor on real measured app behaviour.
+//! * [`video`] — a decode-clock video player with pause/resume, whose
+//!   content rate is exactly the stream frame rate.
+//! * [`wallpaper`] — the Nexus-Revamped-style dots wallpaper used by the
+//!   Fig. 6 metering-accuracy experiment.
+//! * [`input`] — Monkey-like touch scripts, replayable across policies.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccdem_workloads::app::{AppModel, InputContext};
+//! use ccdem_workloads::catalog;
+//! use ccdem_simkit::rng::SimRng;
+//! use ccdem_simkit::time::SimTime;
+//!
+//! let mut app = catalog::jelly_splash().instantiate();
+//! let mut rng = SimRng::seed_from_u64(42);
+//! let tick = app.tick(SimTime::ZERO, &InputContext::default(), &mut rng);
+//! // Jelly Splash requests ~60 fps: next frame within ~18 ms.
+//! assert!(tick.next_in.as_micros() < 20_000);
+//! ```
+
+pub mod app;
+pub mod catalog;
+pub mod input;
+pub mod phased;
+pub mod scrolling;
+pub mod switcher;
+pub mod trace;
+pub mod video;
+pub mod wallpaper;
+
+pub use app::{AppClass, AppModel, ContentChange, FrameTick, InputContext};
+pub use input::{InputEvent, InputKind, MonkeyConfig, MonkeyScript};
+pub use phased::{AppSpec, ChangeKind, PhaseBehavior, PhasedApp};
+pub use scrolling::{FlingConfig, FlingReader};
+pub use switcher::AppSwitcher;
+pub use trace::{FrameTrace, ParseTraceError, TraceApp, TraceEntry};
+pub use video::{VideoApp, VideoConfig};
+pub use wallpaper::{DotsConfig, DotsWallpaper};

@@ -1,0 +1,67 @@
+//! Generalizing beyond the Galaxy S3: the section table on other panels.
+//!
+//! ```text
+//! cargo run --release --example custom_device
+//! ```
+//!
+//! The paper notes that the section thresholds "should be redefined when
+//! the available refresh rates are changed" — Eq. 1 does that
+//! automatically. This example builds the table for three rate ladders
+//! (the Galaxy S3, a 120 Hz LTPO concept, and a 90 Hz LCD tablet), then
+//! runs the same game on each device to show the scheme transfers.
+
+use ccdem::core::governor::{GovernorConfig, Policy};
+use ccdem::core::section::SectionTable;
+use ccdem::experiments::{scaled_budget, Scenario, Workload};
+use ccdem::panel::device::DeviceProfile;
+use ccdem::simkit::time::SimDuration;
+use ccdem::workloads::catalog;
+
+fn main() {
+    let devices = [
+        DeviceProfile::galaxy_s3(),
+        DeviceProfile::ltpo_120(),
+        DeviceProfile::tablet_90(),
+    ];
+
+    for device in &devices {
+        println!("== {device}");
+        println!("{}\n", SectionTable::new(device.rates().clone()));
+    }
+
+    println!("Running Everypong (25 fps content in a 60 fps loop) on each device:\n");
+    println!(
+        "{:<28} {:>12} {:>12} {:>9}",
+        "device", "avg refresh", "power", "quality"
+    );
+    println!("{}", "-".repeat(66));
+    for device in devices {
+        let budget = scaled_budget(
+            device.resolution(),
+            GovernorConfig::DEFAULT_GRID_BUDGET * device.resolution().pixel_count()
+                / ccdem::pixelbuf::geometry::Resolution::GALAXY_S3.pixel_count(),
+        );
+        let mut scenario = Scenario::new(
+            Workload::App(catalog::by_name("Everypong").expect("catalog app")),
+            Policy::SectionWithBoost,
+        )
+        .with_duration(SimDuration::from_secs(30));
+        scenario.device = device.clone();
+        scenario.governor = scenario.governor.with_grid_budget(budget.max(64));
+        let run = scenario.run();
+        println!(
+            "{:<28} {:>9.1} Hz {:>9.0} mW {:>8.1}%",
+            device.name(),
+            run.avg_refresh_hz,
+            run.avg_power_mw,
+            run.quality_pct(),
+        );
+    }
+
+    println!(
+        "\nOn every ladder the governor settles near the smallest rate that\n\
+         still clears the game's ~25 fps content rate, touch bursts spike to\n\
+         the panel maximum, and quality stays high — Eq. 1 needs no per-device\n\
+         tuning beyond the rate list itself."
+    );
+}

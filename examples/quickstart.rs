@@ -1,0 +1,57 @@
+//! Quickstart: govern one app session and compare against stock Android.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Runs Jelly Splash (the paper's redundant-60-fps poster child) for one
+//! simulated minute under the full system (section-based control + touch
+//! boosting), replays the identical session at a fixed 60 Hz, and prints
+//! the power/quality outcome plus the section table that drove it.
+
+use ccdem::core::governor::Policy;
+use ccdem::core::section::SectionTable;
+use ccdem::experiments::{Scenario, Workload};
+use ccdem::panel::refresh::RefreshRateSet;
+use ccdem::simkit::time::SimDuration;
+use ccdem::workloads::catalog;
+
+fn main() {
+    let table = SectionTable::new(RefreshRateSet::galaxy_s3());
+    println!("Section table (paper Eq. 1, Galaxy S3 ladder):");
+    println!("{table}\n");
+
+    let scenario = Scenario::new(
+        Workload::App(catalog::jelly_splash()),
+        Policy::SectionWithBoost,
+    )
+    .with_duration(SimDuration::from_secs(60));
+
+    println!("Running Jelly Splash for 60 simulated seconds…");
+    let (governed, baseline) = scenario.run_with_baseline();
+
+    println!("\n                       fixed 60 Hz    section + boost");
+    println!(
+        "average power          {:>8.1} mW    {:>8.1} mW",
+        baseline.avg_power_mw, governed.avg_power_mw
+    );
+    println!(
+        "average refresh rate   {:>8.1} Hz    {:>8.1} Hz",
+        baseline.avg_refresh_hz, governed.avg_refresh_hz
+    );
+    println!(
+        "displayed content      {:>8.1} fps   {:>8.1} fps",
+        baseline.displayed_content_fps, governed.displayed_content_fps
+    );
+    println!(
+        "display quality        {:>8.1} %     {:>8.1} %",
+        baseline.quality_pct(),
+        governed.quality_pct()
+    );
+    println!(
+        "\npower saved: {:.1} mW ({:.1}% of baseline), {} rate switches",
+        baseline.avg_power_mw - governed.avg_power_mw,
+        (baseline.avg_power_mw - governed.avg_power_mw) / baseline.avg_power_mw * 100.0,
+        governed.refresh_switches
+    );
+}

@@ -1,0 +1,191 @@
+//! The `ccdem` command-line tool.
+//!
+//! ```text
+//! ccdem catalog
+//! ccdem table    [--device s3|ltpo|tablet]
+//! ccdem simulate --app <name> [--policy fixed|naive|section|boost]
+//!                [--duration <secs>] [--seed <n>] [--full-res]
+//!                [--csv <file>]
+//! ```
+//!
+//! `simulate` runs one app under one policy against its fixed-60 Hz
+//! baseline and prints the outcome; `--csv` additionally writes the
+//! per-second time series for plotting.
+
+use std::process::ExitCode;
+
+use ccdem::core::governor::Policy;
+use ccdem::core::section::SectionTable;
+use ccdem::experiments::export::write_timeseries_csv;
+use ccdem::experiments::{Scenario, Workload};
+use ccdem::panel::device::DeviceProfile;
+use ccdem::power::battery::Battery;
+use ccdem::power::units::Milliwatts;
+use ccdem::simkit::time::SimDuration;
+use ccdem::workloads::catalog;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("catalog") => cmd_catalog(),
+        Some("table") => cmd_table(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "ccdem — content-centric display energy management (DAC 2014 reproduction)\n\n\
+         commands:\n  \
+         catalog                       list the 30 modelled applications\n  \
+         table [--device s3|ltpo|tablet]\n                                print the Eq. 1 section table\n  \
+         simulate --app <name> [--policy fixed|naive|section|boost]\n           \
+         [--duration <secs>] [--seed <n>] [--full-res] [--csv <file>]\n\n\
+         see also: cargo run --release --example paper_report -- all"
+    );
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_catalog() -> ExitCode {
+    println!(
+        "{:<16} {:<8} {:>12} {:>12} {:>13} {:>13}",
+        "app", "class", "idle req", "idle content", "active req", "active content"
+    );
+    println!("{}", "-".repeat(80));
+    for app in catalog::all_apps() {
+        println!(
+            "{:<16} {:<8} {:>8.0} fps {:>8.1} fps {:>9.0} fps {:>9.1} fps",
+            app.name,
+            app.class.to_string(),
+            app.idle.request_fps,
+            app.idle.content_fps,
+            app.active.request_fps,
+            app.active.content_fps,
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_table(args: &[String]) -> ExitCode {
+    let device = match flag_value(args, "--device").unwrap_or("s3") {
+        "s3" => DeviceProfile::galaxy_s3(),
+        "ltpo" => DeviceProfile::ltpo_120(),
+        "tablet" => DeviceProfile::tablet_90(),
+        other => {
+            eprintln!("unknown device {other:?}; expected s3, ltpo or tablet");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{device}");
+    println!("{}", SectionTable::new(device.rates().clone()));
+    ExitCode::SUCCESS
+}
+
+fn cmd_simulate(args: &[String]) -> ExitCode {
+    let Some(app_name) = flag_value(args, "--app") else {
+        eprintln!("simulate requires --app <name>; run `ccdem catalog` for the list");
+        return ExitCode::FAILURE;
+    };
+    let Some(spec) = catalog::by_name(app_name) else {
+        eprintln!("unknown app {app_name:?}; run `ccdem catalog` for the list");
+        return ExitCode::FAILURE;
+    };
+    let policy = match flag_value(args, "--policy").unwrap_or("boost") {
+        "fixed" => Policy::FixedMax,
+        "naive" => Policy::NaiveMatch,
+        "section" => Policy::SectionOnly,
+        "boost" => Policy::SectionWithBoost,
+        other => {
+            eprintln!("unknown policy {other:?}; expected fixed, naive, section or boost");
+            return ExitCode::FAILURE;
+        }
+    };
+    let duration = match flag_value(args, "--duration").unwrap_or("60").parse::<u64>() {
+        Ok(secs) if secs > 0 => SimDuration::from_secs(secs),
+        _ => {
+            eprintln!("--duration must be a positive number of seconds");
+            return ExitCode::FAILURE;
+        }
+    };
+    let seed = match flag_value(args, "--seed").unwrap_or("49374").parse::<u64>() {
+        Ok(seed) => seed,
+        Err(_) => {
+            eprintln!("--seed must be an unsigned integer");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut scenario = Scenario::new(Workload::App(spec), policy)
+        .with_duration(duration)
+        .with_seed(seed);
+    if !args.iter().any(|a| a == "--full-res") {
+        scenario = scenario.at_quarter_resolution();
+    }
+
+    eprintln!("simulating {app_name:?} under {policy} for {duration}…");
+    let (governed, baseline) = scenario.run_with_baseline();
+
+    let saved = baseline.avg_power_mw - governed.avg_power_mw;
+    let battery = Battery::galaxy_s3();
+    let gained = battery.life_gained(
+        Milliwatts::new(baseline.avg_power_mw),
+        Milliwatts::new(governed.avg_power_mw),
+    );
+    println!("policy              {policy}");
+    println!("average power       {:.1} mW (baseline {:.1} mW)", governed.avg_power_mw, baseline.avg_power_mw);
+    println!(
+        "power saved         {saved:.1} mW ({:.1}%)",
+        saved / baseline.avg_power_mw * 100.0
+    );
+    println!("average refresh     {:.1} Hz ({} switches)", governed.avg_refresh_hz, governed.refresh_switches);
+    println!("content rate        {:.1} fps actual, {:.1} fps displayed", governed.actual_content_fps, governed.displayed_content_fps);
+    println!("display quality     {:.1}%", governed.quality_pct());
+    println!("dropped frames      {:.2} fps", governed.dropped_fps());
+    let residency = governed.refresh_trace.residency(
+        ccdem::simkit::time::SimTime::ZERO,
+        ccdem::simkit::time::SimTime::ZERO + governed.duration,
+    );
+    let total: f64 = residency.iter().map(|&(_, s)| s).sum();
+    if total > 0.0 {
+        println!("rate residency:");
+        for (hz, secs) in residency {
+            println!("  {hz:>5.0} Hz  {:>5.1}%  {secs:>6.1} s", secs / total * 100.0);
+        }
+    }
+    println!(
+        "battery life gained {:.0} min (on {battery})",
+        gained.as_secs_f64() / 60.0
+    );
+
+    if let Some(path) = flag_value(args, "--csv") {
+        match std::fs::File::create(path) {
+            Ok(file) => {
+                if let Err(e) = write_timeseries_csv(&governed, file) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote per-second time series to {path}");
+            }
+            Err(e) => {
+                eprintln!("failed to create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,58 @@
+//! # ccdem — Content-centric Display Energy Management
+//!
+//! A from-scratch Rust reproduction of *"Content-centric Display Energy
+//! Management for Mobile Devices"* (Dongwon Kim, Nohyun Jung, Hojung Cha;
+//! DAC 2014): measure the **content rate** — meaningful, content-changing
+//! frames per second — at negligible cost, and drive the panel's refresh
+//! rate from it with a **section table** plus **touch boosting**, saving
+//! display power without hurting perceived quality.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`core`] | the paper's contribution: content-rate meter, section table, touch boost, governor |
+//! | [`simkit`] | deterministic discrete-event simulation engine |
+//! | [`pixelbuf`] | framebuffers, grid sampling, double buffering |
+//! | [`panel`] | display hardware: refresh rates, V-Sync, rate switching |
+//! | [`compositor`] | SurfaceFlinger-like surface manager |
+//! | [`workloads`] | the 30-app catalog, wallpapers, Monkey scripts |
+//! | [`power`] | calibrated Galaxy S3 power model and Monsoon-like meter |
+//! | [`metrics`] | display quality, dropped frames, Table 1 aggregates |
+//! | [`experiments`] | scenario runner and every paper figure/table |
+//!
+//! # Quickstart
+//!
+//! Run a governed app session against its fixed-60 Hz baseline:
+//!
+//! ```
+//! use ccdem::core::governor::Policy;
+//! use ccdem::experiments::{Scenario, Workload};
+//! use ccdem::simkit::time::SimDuration;
+//! use ccdem::workloads::catalog;
+//!
+//! let scenario = Scenario::new(
+//!     Workload::App(catalog::jelly_splash()),
+//!     Policy::SectionWithBoost,
+//! )
+//! .at_quarter_resolution()
+//! .with_duration(SimDuration::from_secs(10));
+//!
+//! let (governed, baseline) = scenario.run_with_baseline();
+//! let saved = baseline.avg_power_mw - governed.avg_power_mw;
+//! assert!(saved > 0.0, "the governor should save power");
+//! assert!(governed.quality_pct() > 90.0, "without hurting quality");
+//! ```
+//!
+//! Or use the governor directly on your own display stack — it is pure
+//! and I/O-free; see [`core::governor::Governor`].
+
+pub use ccdem_compositor as compositor;
+pub use ccdem_core as core;
+pub use ccdem_experiments as experiments;
+pub use ccdem_metrics as metrics;
+pub use ccdem_panel as panel;
+pub use ccdem_pixelbuf as pixelbuf;
+pub use ccdem_power as power;
+pub use ccdem_simkit as simkit;
+pub use ccdem_workloads as workloads;

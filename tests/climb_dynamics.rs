@@ -1,0 +1,126 @@
+//! The V-Sync climb: quantifying why touch boosting exists.
+//!
+//! When content jumps from idle to 60 fps at a 20 Hz refresh rate, the
+//! meter can only measure ≤20 fps, so section control climbs one rung
+//! per control window: 20→24→30→40→60. With a 500 ms window that is up
+//! to ~2 s of degraded display — precisely the lag Fig. 7(a)/(c) shows
+//! and touch boosting eliminates.
+
+use ccdem::compositor::flinger::{ComposeOutcome, SurfaceFlinger};
+use ccdem::core::governor::{Governor, GovernorConfig, Policy};
+use ccdem::panel::controller::RefreshController;
+use ccdem::panel::refresh::{RefreshRate, RefreshRateSet};
+use ccdem::panel::vsync::VsyncScheduler;
+use ccdem::pixelbuf::geometry::Resolution;
+use ccdem::pixelbuf::pixel::Pixel;
+use ccdem::simkit::time::{SimDuration, SimTime};
+
+/// Drives a 60 fps all-content app against a governor that starts at the
+/// panel floor; returns the times (s) at which each rate was first
+/// applied.
+fn climb(policy: Policy, boost_at: Option<SimTime>) -> Vec<(f64, u32)> {
+    let res = Resolution::QUARTER;
+    let rates = RefreshRateSet::galaxy_s3();
+    let mut flinger = SurfaceFlinger::new(res);
+    let app = flinger.create_surface("climber");
+    let mut governor = Governor::new(
+        rates.clone(),
+        res,
+        GovernorConfig::new(policy).with_grid_budget(576),
+    );
+    let mut controller =
+        RefreshController::new(rates, RefreshRate::HZ_20, SimDuration::from_millis(16));
+    let mut vsync = VsyncScheduler::new(RefreshRate::HZ_20, SimTime::ZERO);
+
+    let mut applied: Vec<(f64, u32)> = vec![(0.0, 20)];
+    let end = SimTime::from_secs(5);
+    let mut next_submit = SimTime::ZERO;
+    let mut next_control = SimTime::ZERO + governor.config().control_window();
+    let mut boosted = false;
+    let mut grey = 0u8;
+
+    loop {
+        let edge = vsync.next_edge();
+        let t = next_submit.min(next_control).min(edge);
+        if t >= end {
+            break;
+        }
+        if let Some(boost) = boost_at {
+            if !boosted && t >= boost {
+                boosted = true;
+                if let Some(rate) = governor.on_touch(boost) {
+                    controller.request(rate, boost).unwrap();
+                }
+            }
+        }
+        if t == next_submit {
+            grey = if grey >= 250 { 1 } else { grey + 1 };
+            flinger
+                .surface_mut(app)
+                .unwrap()
+                .buffer_mut()
+                .fill(Pixel::grey(grey));
+            flinger.submit(app, t, true).unwrap();
+            next_submit += SimDuration::from_hz(60);
+        } else if t == next_control {
+            let rate = governor.decide(t);
+            controller.request(rate, t).unwrap();
+            next_control += governor.config().control_window();
+        } else {
+            let edge = vsync.advance();
+            if let Some(rate) = controller.poll(edge) {
+                vsync.set_rate(rate);
+                applied.push((edge.as_secs_f64(), rate.hz()));
+            }
+            if let ComposeOutcome::Composed { .. } = flinger.compose(edge) {
+                governor.on_framebuffer_update(flinger.framebuffer(), edge);
+            }
+        }
+    }
+    applied
+}
+
+#[test]
+fn section_control_climbs_one_rung_per_window() {
+    let applied = climb(Policy::SectionOnly, None);
+    let rungs: Vec<u32> = applied.iter().map(|&(_, hz)| hz).collect();
+    // The full ladder is climbed in order, no rung skipped.
+    assert_eq!(rungs, vec![20, 24, 30, 40, 60], "climb path {applied:?}");
+    // Reaching 60 Hz takes at least three control windows (the V-Sync
+    // clip forces one observation round per rung)…
+    let (t_60, _) = *applied.last().unwrap();
+    assert!(t_60 > 1.2, "reached 60 Hz suspiciously fast: {t_60:.2}s");
+    // …and completes within a handful of windows.
+    assert!(t_60 < 3.5, "climb took {t_60:.2}s");
+}
+
+#[test]
+fn touch_boost_jumps_straight_to_max() {
+    let boost_time = SimTime::from_millis(300);
+    let applied = climb(Policy::SectionWithBoost, Some(boost_time));
+    // The first applied switch after the touch is 60 Hz, not a rung.
+    let first_switch = applied
+        .iter()
+        .find(|&&(t, _)| t > 0.3)
+        .expect("a switch must follow the touch");
+    assert_eq!(first_switch.1, 60, "boost applied {first_switch:?}");
+    // And it lands within ~two frame times of the touch (driver latency
+    // + frame boundary), not after a control window.
+    assert!(
+        first_switch.0 < 0.45,
+        "boost applied only at {:.3}s",
+        first_switch.0
+    );
+}
+
+#[test]
+fn naive_controller_never_climbs() {
+    let applied = climb(Policy::NaiveMatch, None);
+    // The measured CR is clipped at 20 fps, and at_least(20) = 20 Hz:
+    // the naive rule is stuck at the floor forever.
+    assert_eq!(
+        applied.len(),
+        1,
+        "naive controller should never switch, got {applied:?}"
+    );
+}

@@ -1,0 +1,142 @@
+//! Cross-crate integration tests: wiring the stack by hand (no scenario
+//! runner) and checking the pieces compose the way the paper describes.
+
+use ccdem::compositor::flinger::{ComposeOutcome, SurfaceFlinger};
+use ccdem::core::governor::{Governor, GovernorConfig, Policy};
+use ccdem::panel::controller::RefreshController;
+use ccdem::panel::device::DeviceProfile;
+use ccdem::panel::refresh::RefreshRate;
+use ccdem::panel::vsync::VsyncScheduler;
+use ccdem::pixelbuf::geometry::Resolution;
+use ccdem::pixelbuf::pixel::Pixel;
+use ccdem::simkit::time::{SimDuration, SimTime};
+
+/// Drives a hand-built stack for `secs` seconds with an app that submits
+/// at `request_fps` and changes content every `content_every`-th frame.
+/// Returns (final refresh rate, composed frames, meaningful frames).
+fn drive(
+    policy: Policy,
+    secs: u64,
+    request_fps: u64,
+    content_every: u64,
+) -> (RefreshRate, usize, usize) {
+    let device = DeviceProfile::galaxy_s3().with_resolution(Resolution::QUARTER);
+    let mut flinger = SurfaceFlinger::new(device.resolution());
+    let app = flinger.create_surface("hand-built");
+    let mut governor = Governor::new(
+        device.rates().clone(),
+        device.resolution(),
+        GovernorConfig::new(policy).with_grid_budget(576),
+    );
+    let mut controller = RefreshController::new(
+        device.rates().clone(),
+        device.rates().max(),
+        device.rate_switch_latency(),
+    );
+    let mut vsync = VsyncScheduler::new(controller.current(), SimTime::ZERO);
+
+    let end = SimTime::from_secs(secs);
+    let mut next_submit = SimTime::ZERO;
+    let mut next_control = SimTime::ZERO + governor.config().control_window();
+    let mut frame: u64 = 0;
+    let submit_period = SimDuration::from_hz(request_fps as u32);
+
+    loop {
+        let edge = vsync.next_edge();
+        let t = next_submit.min(next_control).min(edge);
+        if t >= end {
+            break;
+        }
+        if t == next_submit {
+            frame += 1;
+            let content = frame % content_every == 0;
+            if content {
+                flinger
+                    .surface_mut(app)
+                    .unwrap()
+                    .buffer_mut()
+                    .fill(Pixel::grey((frame % 250) as u8 + 1));
+            }
+            flinger.submit(app, t, content).unwrap();
+            next_submit += submit_period;
+        } else if t == next_control {
+            let rate = governor.decide(t);
+            controller.request(rate, t).unwrap();
+            next_control += governor.config().control_window();
+        } else {
+            let edge = vsync.advance();
+            if let Some(rate) = controller.poll(edge) {
+                vsync.set_rate(rate);
+            }
+            if let ComposeOutcome::Composed { .. } = flinger.compose(edge) {
+                governor.on_framebuffer_update(flinger.framebuffer(), edge);
+            }
+        }
+    }
+    (
+        controller.current(),
+        flinger.stats().composed().count(),
+        governor.meter().meaningful_frames().count(),
+    )
+}
+
+#[test]
+fn static_content_settles_at_panel_floor() {
+    // 30 fps of pure redundant submissions: content rate ~0 → 20 Hz.
+    let (rate, _, meaningful) = drive(Policy::SectionOnly, 10, 30, u64::MAX);
+    assert_eq!(rate, RefreshRate::HZ_20);
+    assert!(meaningful <= 1, "only the priming frame may be meaningful");
+}
+
+#[test]
+fn thirty_fps_content_settles_at_40_hz() {
+    // 60 fps submissions, every 2nd meaningful → CR ~30 → section 40 Hz.
+    let (rate, _, meaningful) = drive(Policy::SectionOnly, 10, 60, 2);
+    assert_eq!(rate, RefreshRate::HZ_40);
+    // ~30 meaningful/s over 10 s.
+    assert!(
+        (250..=320).contains(&meaningful),
+        "meaningful frames {meaningful}"
+    );
+}
+
+#[test]
+fn fifteen_fps_content_settles_at_24_hz() {
+    // 60 fps submissions, every 4th meaningful → CR ~15 → section 24 Hz.
+    let (rate, composed, _) = drive(Policy::SectionOnly, 10, 60, 4);
+    assert_eq!(rate, RefreshRate::HZ_24);
+    // Composition throttled: far fewer than the 600 submitted frames.
+    assert!(composed < 320, "composed {composed} frames");
+}
+
+#[test]
+fn fixed_policy_composes_every_distinct_vsync() {
+    let (rate, composed, _) = drive(Policy::FixedMax, 10, 60, 2);
+    assert_eq!(rate, RefreshRate::HZ_60);
+    // 60 fps submissions on a 60 Hz panel: ~one compose per edge.
+    assert!((560..=610).contains(&composed), "composed {composed}");
+}
+
+#[test]
+fn naive_policy_latches_at_content_rate_ceiling() {
+    // CR 30 exactly: the naive rule picks 30 Hz (zero headroom), and
+    // V-Sync then clips the measured CR at ≤30 so it stays there.
+    let (rate, _, _) = drive(Policy::NaiveMatch, 10, 60, 2);
+    assert_eq!(rate, RefreshRate::HZ_30);
+}
+
+#[test]
+fn composed_frames_never_exceed_refresh_budget() {
+    for (policy, request, every) in [
+        (Policy::SectionOnly, 60, 2),
+        (Policy::SectionOnly, 45, 3),
+        (Policy::SectionWithBoost, 60, 4),
+        (Policy::NaiveMatch, 30, 1),
+    ] {
+        let (_, composed, _) = drive(policy, 5, request, every);
+        assert!(
+            composed <= 5 * 61,
+            "{policy:?}: {composed} composed frames in 5 s"
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Input-to-photon latency across policies — the felt benefit of touch
+//! boosting that the paper's quality metric only captures indirectly.
+
+use ccdem::core::governor::Policy;
+use ccdem::experiments::{Scenario, Workload};
+use ccdem::simkit::time::SimDuration;
+use ccdem::workloads::catalog;
+
+fn latency_mean(policy: Policy, seed: u64) -> f64 {
+    let r = Scenario::new(Workload::App(catalog::facebook()), policy)
+        .at_quarter_resolution()
+        .with_duration(SimDuration::from_secs(40))
+        .with_seed(seed)
+        .run();
+    let s = r.latency_summary();
+    assert!(s.samples > 0, "no touches measured under {policy:?}");
+    s.mean_ms
+}
+
+#[test]
+fn fixed_60_has_low_latency() {
+    // At 60 Hz the next scanout is ≤16.7 ms away, plus app response time.
+    let mean = latency_mean(Policy::FixedMax, 5);
+    assert!(mean < 60.0, "fixed-60 mean latency {mean:.1} ms");
+}
+
+#[test]
+fn section_only_pays_latency_at_low_rates() {
+    // A 20 Hz idle panel makes the first touch response wait up to
+    // 50 ms for a scanout (plus the app's own response time).
+    let fixed = latency_mean(Policy::FixedMax, 6);
+    let section = latency_mean(Policy::SectionOnly, 6);
+    assert!(
+        section > fixed,
+        "section {section:.1} ms not above fixed {fixed:.1} ms"
+    );
+}
+
+#[test]
+fn boost_recovers_most_of_the_latency() {
+    let section = latency_mean(Policy::SectionOnly, 7);
+    let boost = latency_mean(Policy::SectionWithBoost, 7);
+    assert!(
+        boost <= section,
+        "boost {boost:.1} ms above section-only {section:.1} ms"
+    );
+}
+
+#[test]
+fn latency_summary_fields_consistent() {
+    let r = Scenario::new(
+        Workload::App(catalog::jelly_splash()),
+        Policy::SectionWithBoost,
+    )
+    .at_quarter_resolution()
+    .with_duration(SimDuration::from_secs(30))
+    .with_seed(8)
+    .run();
+    let s = r.latency_summary();
+    assert!(s.p50_ms <= s.p95_ms + 1e-9);
+    assert!(s.p95_ms <= s.max_ms + 1e-9);
+    assert_eq!(s.samples, r.touch_latencies.len());
+}
