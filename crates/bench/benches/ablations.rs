@@ -16,6 +16,7 @@ fn cfg() -> AblationConfig {
     AblationConfig {
         duration: SimDuration::from_secs(10),
         seed: 77,
+        jobs: 0,
     }
 }
 

@@ -89,6 +89,7 @@ pub struct GovernorConfig {
     boost_hold: SimDuration,
     smoothing_alpha: f64,
     down_dwell: u32,
+    meter_retention: Option<SimDuration>,
 }
 
 impl GovernorConfig {
@@ -109,6 +110,7 @@ impl GovernorConfig {
             boost_hold: TouchBooster::DEFAULT_HOLD,
             smoothing_alpha: 1.0,
             down_dwell: 1,
+            meter_retention: None,
         }
     }
 
@@ -171,6 +173,26 @@ impl GovernorConfig {
         self
     }
 
+    /// Bounds the meter's event-timestamp memory to `horizon` (must be at
+    /// least the control window, which is as far back as the governor
+    /// looks). By default every timestamp is kept so offline reports can
+    /// rebuild full per-second series; long-running deployments that only
+    /// need the control loop should set a horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is shorter than the control window. Set the
+    /// window first when combining the two builders.
+    pub fn with_meter_retention(mut self, horizon: SimDuration) -> GovernorConfig {
+        assert!(
+            horizon >= self.control_window,
+            "meter retention ({horizon}) must cover the control window ({})",
+            self.control_window
+        );
+        self.meter_retention = Some(horizon);
+        self
+    }
+
     /// The control policy.
     pub fn policy(&self) -> Policy {
         self.policy
@@ -189,6 +211,11 @@ impl GovernorConfig {
     /// The boost hold period.
     pub fn boost_hold(&self) -> SimDuration {
         self.boost_hold
+    }
+
+    /// The meter's timestamp-retention horizon (`None` = keep all).
+    pub fn meter_retention(&self) -> Option<SimDuration> {
+        self.meter_retention
     }
 
     /// The EWMA newest-sample weight (`1.0` = no smoothing).
@@ -262,7 +289,11 @@ impl Governor {
             table,
             naive,
             booster: TouchBooster::new(config.boost_hold()),
-            meter: ContentRateMeter::new(sampler),
+            meter: {
+                let mut meter = ContentRateMeter::new(sampler);
+                meter.set_retention(config.meter_retention());
+                meter
+            },
             filter: EwmaFilter::new(config.smoothing_alpha()),
             damper: SwitchDamper::new(config.down_dwell()),
             decisions: Trace::new(),

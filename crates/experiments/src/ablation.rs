@@ -17,6 +17,7 @@ use std::fmt;
 use ccdem_core::governor::{GovernorConfig, Policy};
 use ccdem_power::model::PowerCoefficients;
 use ccdem_metrics::table::TextTable;
+use ccdem_simkit::parallel::ParallelRunner;
 use ccdem_simkit::time::SimDuration;
 use ccdem_workloads::catalog;
 
@@ -28,8 +29,12 @@ use ccdem_pixelbuf::geometry::Resolution;
 pub struct AblationConfig {
     /// Run length per configuration.
     pub duration: SimDuration,
-    /// Root seed.
+    /// Root seed. Every point in a sweep replays the same seeded script,
+    /// so points differ only in the knob under study.
     pub seed: u64,
+    /// Worker threads; `0` = all available cores, `1` = serial. Results
+    /// are identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for AblationConfig {
@@ -37,6 +42,7 @@ impl Default for AblationConfig {
         AblationConfig {
             duration: SimDuration::from_secs(30),
             seed: 77,
+            jobs: 0,
         }
     }
 }
@@ -88,6 +94,19 @@ impl fmt::Display for Ablation {
     }
 }
 
+/// Measures every `(label, governor)` point of a sweep, fanning the
+/// independent runs out over `config.jobs` workers. Points share the
+/// sweep's root seed (each point replays the same script with a different
+/// knob setting), and results come back in input order, so the sweep is
+/// identical for any worker count.
+fn measure_all(
+    config: &AblationConfig,
+    items: Vec<(String, GovernorConfig)>,
+) -> Vec<AblationPoint> {
+    ParallelRunner::new(config.jobs)
+        .run_many(items, |_, (label, governor)| measure(config, label, governor))
+}
+
 fn measure(config: &AblationConfig, label: String, governor: GovernorConfig) -> AblationPoint {
     let mut scenario = Scenario::new(
         Workload::App(catalog::jelly_splash()),
@@ -116,17 +135,17 @@ fn measure(config: &AblationConfig, label: String, governor: GovernorConfig) -> 
 
 /// Sweeps the control-window length (paper default: 500 ms).
 pub fn control_window_sweep(config: &AblationConfig) -> Ablation {
-    let points = [125u64, 250, 500, 1_000, 2_000]
+    let items = [125u64, 250, 500, 1_000, 2_000]
         .iter()
         .map(|&ms| {
-            measure(
-                config,
+            (
                 format!("{ms} ms window"),
                 GovernorConfig::new(Policy::SectionWithBoost)
                     .with_control_window(SimDuration::from_millis(ms)),
             )
         })
         .collect();
+    let points = measure_all(config, items);
     Ablation {
         name: "control window length".into(),
         points,
@@ -135,16 +154,16 @@ pub fn control_window_sweep(config: &AblationConfig) -> Ablation {
 
 /// Sweeps the grid pixel budget (paper default: 9K of 921K pixels).
 pub fn grid_budget_sweep(config: &AblationConfig) -> Ablation {
-    let points = [2_304usize, 4_080, 9_216, 36_864, 921_600]
+    let items = [2_304usize, 4_080, 9_216, 36_864, 921_600]
         .iter()
         .map(|&budget| {
-            measure(
-                config,
+            (
                 format!("{budget} px grid"),
                 GovernorConfig::new(Policy::SectionWithBoost).with_grid_budget(budget),
             )
         })
         .collect();
+    let points = measure_all(config, items);
     Ablation {
         name: "grid comparison pixel budget".into(),
         points,
@@ -153,17 +172,17 @@ pub fn grid_budget_sweep(config: &AblationConfig) -> Ablation {
 
 /// Sweeps the touch-boost hold time (default: 400 ms).
 pub fn boost_hold_sweep(config: &AblationConfig) -> Ablation {
-    let points = [0u64, 200, 400, 800, 1_600, 3_200]
+    let items = [0u64, 200, 400, 800, 1_600, 3_200]
         .iter()
         .map(|&ms| {
-            measure(
-                config,
+            (
                 format!("{ms} ms hold"),
                 GovernorConfig::new(Policy::SectionWithBoost)
                     .with_boost_hold(SimDuration::from_millis(ms)),
             )
         })
         .collect();
+    let points = measure_all(config, items);
     Ablation {
         name: "touch boost hold time".into(),
         points,
@@ -173,14 +192,15 @@ pub fn boost_hold_sweep(config: &AblationConfig) -> Ablation {
 /// Compares the rate-mapping rules (paper Eq. 1 vs the rejected naive
 /// matcher) and the baseline.
 pub fn mapper_rule_compare(config: &AblationConfig) -> Ablation {
-    let points = [
+    let items = [
         (Policy::NaiveMatch, "naive rate matching"),
         (Policy::SectionOnly, "section table (Eq. 1)"),
         (Policy::SectionWithBoost, "section table + boost"),
     ]
     .iter()
-    .map(|&(policy, label)| measure(config, label.to_string(), GovernorConfig::new(policy)))
+    .map(|&(policy, label)| (label.to_string(), GovernorConfig::new(policy)))
     .collect();
+    let points = measure_all(config, items);
     Ablation {
         name: "rate-mapping rule".into(),
         points,
@@ -190,16 +210,16 @@ pub fn mapper_rule_compare(config: &AblationConfig) -> Ablation {
 /// Sweeps the EWMA content-rate smoothing weight (extension; 1.0 = the
 /// paper's unsmoothed behaviour).
 pub fn smoothing_sweep(config: &AblationConfig) -> Ablation {
-    let points = [1.0f64, 0.7, 0.5, 0.3, 0.15]
+    let items = [1.0f64, 0.7, 0.5, 0.3, 0.15]
         .iter()
         .map(|&alpha| {
-            measure(
-                config,
+            (
                 format!("alpha {alpha}"),
                 GovernorConfig::new(Policy::SectionWithBoost).with_smoothing_alpha(alpha),
             )
         })
         .collect();
+    let points = measure_all(config, items);
     Ablation {
         name: "content-rate EWMA smoothing".into(),
         points,
@@ -209,16 +229,16 @@ pub fn smoothing_sweep(config: &AblationConfig) -> Ablation {
 /// Sweeps the down-switch dwell count (extension; 1 = the paper's
 /// undamped behaviour).
 pub fn down_dwell_sweep(config: &AblationConfig) -> Ablation {
-    let points = [1u32, 2, 3, 5]
+    let items = [1u32, 2, 3, 5]
         .iter()
         .map(|&dwell| {
-            measure(
-                config,
+            (
                 format!("dwell {dwell}"),
                 GovernorConfig::new(Policy::SectionWithBoost).with_down_dwell(dwell),
             )
         })
         .collect();
+    let points = measure_all(config, items);
     Ablation {
         name: "down-switch hysteresis dwell".into(),
         points,
@@ -235,9 +255,9 @@ pub fn psr_sweep(config: &AblationConfig) -> Ablation {
     // no new framebuffer write, so a 60 fps-submitting game (every cycle
     // receives a frame, however redundant) is unaffected — the idle app
     // whose panel mostly self-refreshes is where the interaction lives.
-    let points = [0.0f64, 0.25, 0.5, 0.75, 1.0]
-        .iter()
-        .map(|&discount| {
+    let points = ParallelRunner::new(config.jobs).run_many(
+        vec![0.0f64, 0.25, 0.5, 0.75, 1.0],
+        |_, discount| {
             let mut scenario = Scenario::new(
                 Workload::App(catalog::facebook()),
                 Policy::SectionWithBoost,
@@ -254,8 +274,8 @@ pub fn psr_sweep(config: &AblationConfig) -> Ablation {
                 dropped_fps: governed.dropped_fps(),
                 switches: governed.refresh_switches,
             }
-        })
-        .collect();
+        },
+    );
     Ablation {
         name: "panel self-refresh interaction".into(),
         points,
@@ -283,6 +303,7 @@ mod tests {
         AblationConfig {
             duration: SimDuration::from_secs(10),
             seed: 31,
+            jobs: 0,
         }
     }
 

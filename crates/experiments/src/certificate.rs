@@ -156,6 +156,7 @@ pub fn issue(config: &CertificateConfig) -> Certificate {
         duration: config.duration,
         seed: config.seed,
         quarter_resolution: true,
+        jobs: 0,
     });
     let mean_saved = |class: AppClass| {
         let members = s.class(class);

@@ -48,6 +48,8 @@ pub struct ControlTrace {
     pub content_rate: Vec<f64>,
     /// Applied refresh rate per second (time-weighted Hz).
     pub refresh_rate: Vec<f64>,
+    /// Highest instantaneous refresh rate applied during the run.
+    pub peak_refresh: f64,
     /// Dropped content frames per second.
     pub dropped: Vec<f64>,
     /// Total dropped frames over the run.
@@ -67,6 +69,11 @@ impl ControlTrace {
             policy: r.policy,
             content_rate: r.measured_content_per_second.clone(),
             refresh_rate: r.refresh_trace.per_second(r.duration),
+            peak_refresh: r
+                .refresh_trace
+                .values()
+                .into_iter()
+                .fold(0.0, f64::max),
             total_dropped: dropped.iter().sum(),
             dropped,
         }
@@ -194,15 +201,24 @@ mod tests {
     #[test]
     fn boost_raises_refresh_during_touches() {
         let fig = quick();
-        // With boosting, some seconds must hit the 60 Hz ceiling (every
-        // touch forces it).
-        let at_max = fig
+        // Every touch forces the applied rate to the 60 Hz ceiling. The
+        // per-second trace time-averages the boost against the idle rate,
+        // so assert on the instantaneous peak, which is seed-independent
+        // as long as the script contains any touch at all.
+        assert!(
+            fig.facebook_boost.peak_refresh > 59.0,
+            "boost never reached 60 Hz (peak {:.1} Hz)",
+            fig.facebook_boost.peak_refresh
+        );
+        // And the boost must be visible in the per-second trace too: some
+        // second averages well above the 20 Hz idle floor.
+        let lifted = fig
             .facebook_boost
             .refresh_rate
             .iter()
-            .filter(|&&hz| hz > 55.0)
+            .filter(|&&hz| hz > 35.0)
             .count();
-        assert!(at_max > 0, "boost never reached 60 Hz");
+        assert!(lifted > 0, "boost never lifted a one-second average");
     }
 
     #[test]

@@ -12,6 +12,7 @@ use ccdem_core::governor::{GovernorConfig, Policy};
 use ccdem_metrics::table::TextTable;
 use ccdem_panel::device::DeviceProfile;
 use ccdem_pixelbuf::geometry::Resolution;
+use ccdem_simkit::parallel::ParallelRunner;
 use ccdem_simkit::time::SimDuration;
 use ccdem_workloads::catalog;
 
@@ -22,8 +23,12 @@ use crate::scenario::{scaled_budget, Scenario, Workload};
 pub struct GeneralizeConfig {
     /// Per-(device, app) run length.
     pub duration: SimDuration,
-    /// Root seed.
+    /// Root seed, shared by every (device, app) cell so behaviour differs
+    /// only by device and app.
     pub seed: u64,
+    /// Worker threads; `0` = all available cores, `1` = serial. Results
+    /// are identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for GeneralizeConfig {
@@ -31,6 +36,7 @@ impl Default for GeneralizeConfig {
         GeneralizeConfig {
             duration: SimDuration::from_secs(30),
             seed: 55,
+            jobs: 0,
         }
     }
 }
@@ -81,38 +87,43 @@ pub fn devices() -> Vec<DeviceProfile> {
 /// Runs the sweep. Devices run at quarter-of-their-native resolution to
 /// keep the pixel work bounded; temporal behaviour is unchanged.
 pub fn run(config: &GeneralizeConfig) -> Generalize {
-    let mut runs = Vec::new();
-    for device in devices() {
+    let cells: Vec<(DeviceProfile, ccdem_workloads::phased::AppSpec)> = devices()
+        .into_iter()
+        .flat_map(|device| {
+            app_slice()
+                .into_iter()
+                .map(move |spec| (device.clone(), spec))
+        })
+        .collect();
+    let runs = ParallelRunner::new(config.jobs).run_many(cells, |_, (device, spec)| {
         let native = device.resolution();
         let quarter = Resolution::new(
             (native.width / 4).max(32),
             (native.height / 4).max(32),
         );
-        for spec in app_slice() {
-            let app = spec.name.clone();
-            let mut scenario = Scenario::new(
-                Workload::App(spec),
-                Policy::SectionWithBoost,
-            )
-            .with_duration(config.duration)
-            .with_seed(config.seed);
-            scenario.device = device.with_resolution(quarter);
-            scenario.governor = GovernorConfig::new(Policy::SectionWithBoost)
-                .with_grid_budget(scaled_budget(quarter, 9_216));
-            let (governed, baseline) = scenario.run_with_baseline();
-            runs.push(DeviceRun {
-                device: device.name().to_string(),
-                app,
-                max_hz: device.rates().max().hz(),
-                saved_mw: baseline.avg_power_mw - governed.avg_power_mw,
-                saved_pct: (baseline.avg_power_mw - governed.avg_power_mw)
-                    / baseline.avg_power_mw
-                    * 100.0,
-                quality_pct: governed.quality_pct(),
-                avg_refresh_hz: governed.avg_refresh_hz,
-            });
+        let app = spec.name.clone();
+        let mut scenario = Scenario::new(
+            Workload::App(spec),
+            Policy::SectionWithBoost,
+        )
+        .with_duration(config.duration)
+        .with_seed(config.seed);
+        scenario.device = device.with_resolution(quarter);
+        scenario.governor = GovernorConfig::new(Policy::SectionWithBoost)
+            .with_grid_budget(scaled_budget(quarter, 9_216));
+        let (governed, baseline) = scenario.run_with_baseline();
+        DeviceRun {
+            device: device.name().to_string(),
+            app,
+            max_hz: device.rates().max().hz(),
+            saved_mw: baseline.avg_power_mw - governed.avg_power_mw,
+            saved_pct: (baseline.avg_power_mw - governed.avg_power_mw)
+                / baseline.avg_power_mw
+                * 100.0,
+            quality_pct: governed.quality_pct(),
+            avg_refresh_hz: governed.avg_refresh_hz,
         }
-    }
+    });
     Generalize { runs }
 }
 
@@ -159,6 +170,7 @@ mod tests {
         run(&GeneralizeConfig {
             duration: SimDuration::from_secs(10),
             seed: 56,
+            jobs: 0,
         })
     }
 

@@ -480,7 +480,10 @@ impl<'a> Engine<'a> {
 }
 
 /// Everything recorded from one scenario run.
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq` so determinism tests can assert that a parallel
+/// sweep reproduces a serial sweep field-for-field.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Workload name.
     pub app_name: String,

@@ -12,14 +12,18 @@
 //!   application class.
 
 use std::fmt;
+use std::time::Instant;
 
 use ccdem_core::governor::Policy;
 use ccdem_metrics::summary::{AppRunSummary, ClassAggregate};
 use ccdem_metrics::table::TextTable;
+use ccdem_metrics::timing::{RunTiming, TimingReport};
+use ccdem_simkit::parallel::{derive_seed, ParallelRunner};
 use ccdem_simkit::stats::quantile;
 use ccdem_simkit::time::SimDuration;
 use ccdem_workloads::app::AppClass;
 use ccdem_workloads::catalog;
+use ccdem_workloads::phased::AppSpec;
 
 use crate::scenario::{RunResult, Scenario, Workload};
 
@@ -31,10 +35,16 @@ pub const EVALUATED_POLICIES: [Policy; 2] = [Policy::SectionOnly, Policy::Sectio
 pub struct SweepConfig {
     /// Per-app run length (the paper used ~3 minutes).
     pub duration: SimDuration,
-    /// Root seed.
+    /// Root seed. Each app's runs are seeded by
+    /// [`derive_seed`]`(seed, app_index)`, so the same Monkey script is
+    /// replayed across policies (the paper's paired-run methodology) while
+    /// different apps draw from uncorrelated streams.
     pub seed: u64,
     /// Run at quarter resolution (fast) instead of full.
     pub quarter_resolution: bool,
+    /// Worker threads; `0` = all available cores, `1` = the exact legacy
+    /// serial path. Results are identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for SweepConfig {
@@ -43,6 +53,7 @@ impl Default for SweepConfig {
             duration: SimDuration::from_secs(60),
             seed: 9,
             quarter_resolution: true,
+            jobs: 0,
         }
     }
 }
@@ -106,36 +117,71 @@ pub struct Sweep {
     pub apps: Vec<AppSweep>,
 }
 
+/// All policies each app runs under, in result order.
+const SWEEP_POLICIES: [Policy; 3] =
+    [Policy::FixedMax, Policy::SectionOnly, Policy::SectionWithBoost];
+
 /// Runs the sweep: 30 apps × 3 policies.
 pub fn run(config: &SweepConfig) -> Sweep {
-    let apps = catalog::all_apps()
+    run_timed(config).0
+}
+
+/// Runs the sweep and also reports how long each run took on the host.
+///
+/// The 90 `(app, policy)` scenarios are independent, so they are fanned
+/// out over a [`ParallelRunner`] with `config.jobs` workers. Each run's
+/// seed is [`derive_seed`]`(config.seed, app_index)` — a pure function of
+/// the work item, never of worker identity or completion order — and
+/// results are collected in input order, so the returned [`Sweep`] is
+/// identical for any worker count.
+pub fn run_timed(config: &SweepConfig) -> (Sweep, TimingReport) {
+    let specs = catalog::all_apps();
+    let items: Vec<(usize, AppSpec, Policy)> = specs
         .into_iter()
-        .map(|spec| {
-            let class = spec.class;
-            let name = spec.name.clone();
-            let mut runs = Vec::new();
-            for policy in [Policy::FixedMax, Policy::SectionOnly, Policy::SectionWithBoost] {
-                let mut s = Scenario::new(Workload::App(spec.clone()), policy)
-                    .with_duration(config.duration)
-                    .with_seed(config.seed);
-                if config.quarter_resolution {
-                    s = s.at_quarter_resolution();
-                }
-                runs.push(s.run());
-            }
-            let boost = runs.pop().expect("three runs");
-            let section = runs.pop().expect("three runs");
-            let baseline = runs.pop().expect("three runs");
-            AppSweep {
-                app: name,
-                class,
-                baseline,
-                section,
-                boost,
-            }
+        .enumerate()
+        .flat_map(|(app_index, spec)| {
+            SWEEP_POLICIES.map(|policy| (app_index, spec.clone(), policy))
         })
         .collect();
-    Sweep { apps }
+
+    let runner = ParallelRunner::new(config.jobs);
+    let started = Instant::now();
+    let runs = runner.run_many(items, |_, (app_index, spec, policy)| {
+        let seed = derive_seed(config.seed, app_index as u64);
+        let run_started = Instant::now();
+        let mut s = Scenario::new(Workload::App(spec), policy)
+            .with_duration(config.duration)
+            .with_seed(seed);
+        if config.quarter_resolution {
+            s = s.at_quarter_resolution();
+        }
+        let result = s.run();
+        let timing = RunTiming::new(
+            format!("{} / {}", result.app_name, policy),
+            run_started.elapsed(),
+        );
+        (result, timing)
+    });
+
+    let mut report = TimingReport::new(runner.jobs());
+    let mut apps = Vec::new();
+    let mut runs = runs.into_iter();
+    while let Some((baseline, t0)) = runs.next() {
+        let (section, t1) = runs.next().expect("three runs per app");
+        let (boost, t2) = runs.next().expect("three runs per app");
+        for t in [t0, t1, t2] {
+            report.push(t);
+        }
+        apps.push(AppSweep {
+            app: baseline.app_name.clone(),
+            class: baseline.app_class,
+            baseline,
+            section,
+            boost,
+        });
+    }
+    report.finish(started.elapsed());
+    (Sweep { apps }, report)
 }
 
 impl Sweep {
@@ -310,6 +356,7 @@ mod tests {
                 duration: SimDuration::from_secs(12),
                 seed: 21,
                 quarter_resolution: true,
+                jobs: 0,
             })
         })
     }

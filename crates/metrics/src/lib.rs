@@ -8,6 +8,8 @@
 //! * [`summary`] — per-app run summaries and per-class mean ± std
 //!   aggregates (Table 1).
 //! * [`table`] — plain-text table rendering for experiment reports.
+//! * [`timing`] — host wall-clock timing of experiment batches, so the
+//!   parallel runner's speedup is observable in reports.
 //!
 //! # Examples
 //!
@@ -23,8 +25,10 @@ pub mod latency;
 pub mod quality;
 pub mod summary;
 pub mod table;
+pub mod timing;
 
 pub use latency::{input_to_photon, LatencySummary};
 pub use quality::{display_quality, display_quality_pct, dropped_fps};
 pub use summary::{AppRunSummary, ClassAggregate};
 pub use table::TextTable;
+pub use timing::{RunTiming, TimingReport};

@@ -1,0 +1,162 @@
+//! Wall-clock timing of experiment runs.
+//!
+//! The parallel sweep engine records how long each `(app, policy)`
+//! simulation took on the host, so a claimed speedup is observable in the
+//! report instead of asserted. Simulated results never depend on these
+//! numbers — they are measurement *about* the harness, kept strictly out
+//! of [`run summaries`](crate::summary).
+
+use std::fmt;
+use std::time::Duration;
+
+use ccdem_simkit::stats::Summary;
+
+use crate::table::TextTable;
+
+/// Wall-clock cost of one labelled run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTiming {
+    /// What ran (e.g. `"Jelly Splash / section"`).
+    pub label: String,
+    /// Host time the run took.
+    pub wall: Duration,
+}
+
+impl RunTiming {
+    /// A timing entry.
+    pub fn new(label: impl Into<String>, wall: Duration) -> RunTiming {
+        RunTiming {
+            label: label.into(),
+            wall,
+        }
+    }
+}
+
+/// Timing of a whole batch of runs executed by a worker pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Per-run host timings, in input order.
+    pub runs: Vec<RunTiming>,
+    /// End-to-end host time for the batch.
+    pub total_wall: Duration,
+    /// Worker threads the batch ran on.
+    pub jobs: usize,
+}
+
+impl TimingReport {
+    /// An empty report for `jobs` workers; fill with [`push`](Self::push)
+    /// and seal with [`finish`](Self::finish).
+    pub fn new(jobs: usize) -> TimingReport {
+        TimingReport {
+            runs: Vec::new(),
+            total_wall: Duration::ZERO,
+            jobs,
+        }
+    }
+
+    /// Appends one run's timing.
+    pub fn push(&mut self, timing: RunTiming) {
+        self.runs.push(timing);
+    }
+
+    /// Records the batch's end-to-end wall time.
+    pub fn finish(&mut self, total_wall: Duration) {
+        self.total_wall = total_wall;
+    }
+
+    /// Sum of the per-run times — what a serial execution would cost.
+    pub fn serial_estimate(&self) -> Duration {
+        self.runs.iter().map(|r| r.wall).sum()
+    }
+
+    /// Observed speedup: serial estimate over actual wall time, or 1 if
+    /// the batch was too fast to measure.
+    pub fn speedup(&self) -> f64 {
+        if self.total_wall.is_zero() {
+            return 1.0;
+        }
+        self.serial_estimate().as_secs_f64() / self.total_wall.as_secs_f64()
+    }
+
+    /// Mean / std-dev / min / max of the per-run times, in milliseconds.
+    pub fn per_run_summary_ms(&self) -> Summary {
+        let ms: Vec<f64> = self
+            .runs
+            .iter()
+            .map(|r| r.wall.as_secs_f64() * 1e3)
+            .collect();
+        Summary::of(&ms)
+    }
+}
+
+impl fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.per_run_summary_ms();
+        writeln!(
+            f,
+            "Timing: {} runs on {} worker(s): {:.2} s wall, {:.2} s serial-equivalent ({:.2}x)",
+            self.runs.len(),
+            self.jobs,
+            self.total_wall.as_secs_f64(),
+            self.serial_estimate().as_secs_f64(),
+            self.speedup(),
+        )?;
+        writeln!(
+            f,
+            "per run: mean {:.0} ms (±{:.0}), min {:.0} ms, max {:.0} ms",
+            s.mean, s.std_dev, s.min, s.max
+        )?;
+        let mut slowest: Vec<&RunTiming> = self.runs.iter().collect();
+        slowest.sort_by_key(|r| std::cmp::Reverse(r.wall));
+        let mut t = TextTable::new(["slowest runs", "wall (ms)"]);
+        for r in slowest.iter().take(5) {
+            t.row([
+                r.label.clone(),
+                format!("{:.0}", r.wall.as_secs_f64() * 1e3),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TimingReport {
+        let mut report = TimingReport::new(4);
+        for (label, ms) in [("a / fixed", 40), ("b / section", 20), ("c / boost", 20)] {
+            report.push(RunTiming::new(label, Duration::from_millis(ms)));
+        }
+        report.finish(Duration::from_millis(40));
+        report
+    }
+
+    #[test]
+    fn speedup_is_serial_over_wall() {
+        let r = sample();
+        assert_eq!(r.serial_estimate(), Duration::from_millis(80));
+        assert!((r.speedup() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_wall_reports_unit_speedup() {
+        let r = TimingReport::new(1);
+        assert_eq!(r.speedup(), 1.0);
+    }
+
+    #[test]
+    fn summary_covers_all_runs() {
+        let s = sample().per_run_summary_ms();
+        assert_eq!(s.count, 3);
+        assert!((s.max - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_renders() {
+        let text = sample().to_string();
+        assert!(text.contains("4 worker(s)"));
+        assert!(text.contains("a / fixed"));
+        assert!(text.contains("2.00x"));
+    }
+}

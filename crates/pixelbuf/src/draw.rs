@@ -78,7 +78,11 @@ pub fn draw_text_rows(fb: &mut FrameBuffer, rect: Rect, row_height: u32, seed: u
         let h = row_height.min(r.bottom() - y);
         // Alternate light rows with darker "text" bands; the seed shifts
         // the phase so consecutive frames of a scroll differ.
-        let v = if i % 2 == 0 { 230 } else { 180u8.wrapping_add((i % 40) as u8) };
+        let v = if i.is_multiple_of(2) {
+            230
+        } else {
+            180u8.wrapping_add((i % 40) as u8)
+        };
         fb.fill_rect(Rect::new(r.x, y, r.width, h), Pixel::grey(v));
         y += row_height;
         i += 1;

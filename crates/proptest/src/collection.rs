@@ -1,0 +1,140 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A range of collection sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            lo: *r.start(),
+            hi_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi_exclusive - self.lo) as u64) as usize
+    }
+}
+
+/// A `Vec` of values from `element`, with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The result of [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `BTreeSet` of distinct values from `element`, with a size drawn from
+/// `size`. The element domain must be comfortably larger than the target
+/// size; after a bounded number of duplicate draws the set is returned at
+/// whatever size was reached (never below one element if `size` allows).
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The result of [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut set = BTreeSet::new();
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < 100 * (target + 1) {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_length_in_range() {
+        let mut rng = TestRng::seed_from_u64(1);
+        let s = vec(0u32..100, 2..10);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..10).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_distinct_and_sized() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let s = btree_set(5u32..=240, 1..8);
+        for _ in 0..200 {
+            let set = s.generate(&mut rng);
+            assert!((1..8).contains(&set.len()));
+            assert!(set.iter().all(|&v| (5..=240).contains(&v)));
+        }
+    }
+}

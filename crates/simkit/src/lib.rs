@@ -4,8 +4,8 @@
 //! display-energy-management simulator: a microsecond simulation clock
 //! ([`time`]), a FIFO-stable future-event queue ([`event`]), seeded and
 //! forkable randomness ([`rng`]), streaming statistics ([`stats`]),
-//! fixed-bin histograms ([`histogram`]) and time-series traces
-//! ([`trace`]).
+//! fixed-bin histograms ([`histogram`]), time-series traces ([`trace`])
+//! and a deterministic worker pool for independent runs ([`parallel`]).
 //!
 //! Everything here is independent of the display domain; the display stack
 //! (panel, compositor, workloads) is built on top of these primitives in the
@@ -33,6 +33,7 @@
 
 pub mod event;
 pub mod histogram;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -40,6 +41,7 @@ pub mod trace;
 
 pub use event::EventQueue;
 pub use histogram::Histogram;
+pub use parallel::{derive_seed, ParallelRunner};
 pub use rng::SimRng;
 pub use stats::{quantile, RunningStats, Summary};
 pub use time::{SimDuration, SimTime};

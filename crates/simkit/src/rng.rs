@@ -5,9 +5,19 @@
 //! its seed. Derived streams ([`SimRng::fork`]) let independent actors
 //! (each app, the input script, the meter noise) consume randomness without
 //! perturbing each other.
+//!
+//! The generator is a self-contained xoshiro256++ seeded through a
+//! SplitMix64 expansion — no external crates, so the simulator builds in
+//! fully offline environments and the stream is stable across toolchains.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// SplitMix64 step: expands a 64-bit seed into independent state words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A deterministic random stream.
 ///
@@ -22,14 +32,20 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a stream from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
@@ -44,9 +60,30 @@ impl SimRng {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
-        let mut clone = self.inner.clone();
-        let base: u64 = clone.gen();
+        let mut clone = self.clone();
+        let base = clone.next_u64();
         SimRng::seed_from_u64(base ^ z)
+    }
+
+    /// A raw 64-bit draw (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform float in `[0, 1)` with 53 bits of precision.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform float in `[lo, hi)`.
@@ -55,7 +92,14 @@ impl SimRng {
     ///
     /// Panics if `lo >= hi`.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        self.inner.gen_range(lo..hi)
+        assert!(lo < hi, "range_f64 requires lo < hi");
+        let v = lo + (hi - lo) * self.unit_f64();
+        // Guard against the sum rounding up to the exclusive bound.
+        if v < hi {
+            v
+        } else {
+            lo
+        }
     }
 
     /// A uniform integer in `[lo, hi)`.
@@ -64,7 +108,10 @@ impl SimRng {
     ///
     /// Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.gen_range(lo..hi)
+        assert!(lo < hi, "range_u64 requires lo < hi");
+        let span = hi - lo;
+        // Lemire's multiply-shift maps a 64-bit draw onto [0, span).
+        lo + (((self.next_u64() as u128) * (span as u128)) >> 64) as u64
     }
 
     /// A uniform integer in `[lo, hi)`.
@@ -73,7 +120,7 @@ impl SimRng {
     ///
     /// Panics if `lo >= hi`.
     pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
-        self.inner.gen_range(lo..hi)
+        self.range_u64(lo as u64, hi as u64) as usize
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
@@ -83,7 +130,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen_bool(p)
+            self.unit_f64() < p
         }
     }
 
@@ -91,8 +138,8 @@ impl SimRng {
     pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
         // Box–Muller: two uniforms -> one Gaussian (the second is discarded
         // to keep the call stateless).
-        let u1: f64 = self.inner.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = self.inner.gen_range(0.0..1.0);
+        let u1 = f64::EPSILON + (1.0 - f64::EPSILON) * self.unit_f64();
+        let u2 = self.unit_f64();
         let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         mean + std_dev * z
     }
@@ -106,13 +153,8 @@ impl SimRng {
     /// Panics if `mean` is not positive.
     pub fn exponential(&mut self, mean: f64) -> f64 {
         assert!(mean > 0.0, "exponential mean must be positive");
-        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u = f64::EPSILON + (1.0 - f64::EPSILON) * self.unit_f64();
         -mean * u.ln()
-    }
-
-    /// A raw 64-bit draw.
-    pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
     }
 }
 
@@ -145,6 +187,13 @@ mod tests {
         let mut a = root1.fork(17);
         let mut b = root2.fork(17);
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_produces_nonzero_state() {
+        let mut rng = SimRng::seed_from_u64(0);
+        let draws: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert!(draws.iter().any(|&d| d != 0));
     }
 
     #[test]

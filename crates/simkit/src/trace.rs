@@ -200,6 +200,16 @@ impl FromIterator<(SimTime, f64)> for Trace {
 
 /// Timestamps of discrete events, binned into per-second rates.
 ///
+/// By default every timestamp is kept, which is what run reports need
+/// (full [`per_second`](Self::per_second) series) but grows without bound
+/// on long or open-ended runs. A counter that is only ever queried over a
+/// trailing window — like the governor's content-rate meter, which looks
+/// back one control window — can bound its memory with
+/// [`with_retention`](Self::with_retention): timestamps older than the
+/// horizon are pruned as new ones arrive, while
+/// [`count`](Self::count) still reports the lifetime total via a
+/// separate counter.
+///
 /// # Examples
 ///
 /// ```
@@ -214,13 +224,51 @@ impl FromIterator<(SimTime, f64)> for Trace {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EventCounter {
-    times: Vec<SimTime>,
+    times: std::collections::VecDeque<SimTime>,
+    total: usize,
+    retention: Option<SimDuration>,
 }
 
 impl EventCounter {
-    /// Creates an empty counter.
+    /// Creates an empty counter retaining every timestamp.
     pub fn new() -> Self {
-        EventCounter { times: Vec::new() }
+        EventCounter::default()
+    }
+
+    /// Creates an empty counter that keeps only timestamps within
+    /// `horizon` of the most recent [`record`](Self::record).
+    ///
+    /// Window queries ([`count_in`](Self::count_in),
+    /// [`rate_in`](Self::rate_in)) silently return 0 for spans that fall
+    /// entirely before the retained horizon; callers must not query
+    /// further back than they retain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    pub fn with_retention(horizon: SimDuration) -> Self {
+        let mut c = EventCounter::new();
+        c.set_retention(Some(horizon));
+        c
+    }
+
+    /// Changes the retention horizon (`None` = keep everything). Takes
+    /// effect at the next [`record`](Self::record); already-pruned
+    /// timestamps do not come back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the horizon is zero.
+    pub fn set_retention(&mut self, horizon: Option<SimDuration>) {
+        if let Some(h) = horizon {
+            assert!(!h.is_zero(), "retention horizon must be non-zero");
+        }
+        self.retention = horizon;
+    }
+
+    /// The configured retention horizon, if any.
+    pub fn retention(&self) -> Option<SimDuration> {
+        self.retention
     }
 
     /// Records one occurrence at `time`.
@@ -229,18 +277,36 @@ impl EventCounter {
     ///
     /// Panics if `time` precedes the previous recorded time.
     pub fn record(&mut self, time: SimTime) {
-        if let Some(&last) = self.times.last() {
+        if let Some(&last) = self.times.back() {
             assert!(time >= last, "events must be recorded in time order");
         }
-        self.times.push(time);
+        self.times.push_back(time);
+        self.total += 1;
+        if let Some(horizon) = self.retention {
+            let cutoff_us = time.as_micros().saturating_sub(horizon.as_micros());
+            while self
+                .times
+                .front()
+                .is_some_and(|t| t.as_micros() < cutoff_us)
+            {
+                self.times.pop_front();
+            }
+        }
     }
 
-    /// Total number of occurrences.
+    /// Total occurrences ever recorded, including pruned ones.
     pub fn count(&self) -> usize {
+        self.total
+    }
+
+    /// Timestamps currently held in memory (= [`count`](Self::count)
+    /// unless a retention horizon pruned some).
+    pub fn retained_len(&self) -> usize {
         self.times.len()
     }
 
-    /// Occurrences within `[start, end)`.
+    /// Occurrences within `[start, end)`, counting only retained
+    /// timestamps.
     pub fn count_in(&self, start: SimTime, end: SimTime) -> usize {
         let lo = self.times.partition_point(|&t| t < start);
         let hi = self.times.partition_point(|&t| t < end);
@@ -374,5 +440,53 @@ mod tests {
         let mut c = EventCounter::new();
         c.record(SimTime::from_secs(1));
         c.record(SimTime::ZERO);
+    }
+
+    #[test]
+    fn retention_bounds_memory_but_not_lifetime_count() {
+        let mut c = EventCounter::with_retention(SimDuration::from_secs(1));
+        // 100 events/s for 6 s: only the trailing second stays resident.
+        for i in 0..600u64 {
+            c.record(SimTime::from_millis(i * 10));
+        }
+        assert_eq!(c.count(), 600);
+        assert!(
+            c.retained_len() <= 101,
+            "retained {} timestamps for a 1 s horizon at 100 events/s",
+            c.retained_len()
+        );
+        // Trailing-window queries still see everything they should:
+        // [now - 500 ms, now) covers events i = 549..=598.
+        let now = SimTime::from_millis(599 * 10);
+        let window = SimDuration::from_millis(500);
+        assert_eq!(c.count_in(now - window, now), 50);
+    }
+
+    #[test]
+    fn unbounded_counter_retains_everything() {
+        let mut c = EventCounter::new();
+        for i in 0..100 {
+            c.record(SimTime::from_millis(i * 10));
+        }
+        assert_eq!(c.count(), 100);
+        assert_eq!(c.retained_len(), 100);
+        assert_eq!(c.retention(), None);
+    }
+
+    #[test]
+    fn retention_keeps_events_exactly_at_horizon() {
+        let mut c = EventCounter::with_retention(SimDuration::from_secs(1));
+        c.record(SimTime::ZERO);
+        c.record(SimTime::from_secs(1)); // exactly horizon-old: kept
+        assert_eq!(c.retained_len(), 2);
+        c.record(SimTime::from_millis(1_001)); // now ZERO is stale
+        assert_eq!(c.retained_len(), 2);
+        assert_eq!(c.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_retention_rejected() {
+        let _ = EventCounter::with_retention(SimDuration::from_micros(0));
     }
 }

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# The repo's tier-1 verification: build, test, lint. Run from the repo
+# root. Works fully offline — all dependencies are in-repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings

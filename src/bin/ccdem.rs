@@ -6,18 +6,23 @@
 //! ccdem simulate --app <name> [--policy fixed|naive|section|boost]
 //!                [--duration <secs>] [--seed <n>] [--full-res]
 //!                [--csv <file>]
+//! ccdem sweep    [--duration <secs>] [--seed <n>] [--jobs <n>]
+//! ccdem report   [--duration <secs>] [--seed <n>] [--jobs <n>]
 //! ```
 //!
 //! `simulate` runs one app under one policy against its fixed-60 Hz
 //! baseline and prints the outcome; `--csv` additionally writes the
-//! per-second time series for plotting.
+//! per-second time series for plotting. `sweep` runs the 30-app × 3-policy
+//! sweep on a worker pool (`--jobs 1` forces the serial path; the results
+//! are identical either way) and prints Table 1 plus host timing; `report`
+//! prints every sweep-derived view (Figs. 9–11 and Table 1).
 
 use std::process::ExitCode;
 
 use ccdem::core::governor::Policy;
 use ccdem::core::section::SectionTable;
 use ccdem::experiments::export::write_timeseries_csv;
-use ccdem::experiments::{Scenario, Workload};
+use ccdem::experiments::{sweep, Scenario, Workload};
 use ccdem::panel::device::DeviceProfile;
 use ccdem::power::battery::Battery;
 use ccdem::power::units::Milliwatts;
@@ -30,6 +35,8 @@ fn main() -> ExitCode {
         Some("catalog") => cmd_catalog(),
         Some("table") => cmd_table(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..], false),
+        Some("report") => cmd_sweep(&args[1..], true),
         Some("--help") | Some("-h") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -49,7 +56,11 @@ fn print_usage() {
          catalog                       list the 30 modelled applications\n  \
          table [--device s3|ltpo|tablet]\n                                print the Eq. 1 section table\n  \
          simulate --app <name> [--policy fixed|naive|section|boost]\n           \
-         [--duration <secs>] [--seed <n>] [--full-res] [--csv <file>]\n\n\
+         [--duration <secs>] [--seed <n>] [--full-res] [--csv <file>]\n  \
+         sweep [--duration <secs>] [--seed <n>] [--jobs <n>]\n                                \
+         run the 30-app sweep; print Table 1 + timing\n  \
+         report [--duration <secs>] [--seed <n>] [--jobs <n>]\n                                \
+         print Figs. 9-11 and Table 1 from the sweep\n\n\
          see also: cargo run --release --example paper_report -- all"
     );
 }
@@ -93,6 +104,51 @@ fn cmd_table(args: &[String]) -> ExitCode {
     };
     println!("{device}");
     println!("{}", SectionTable::new(device.rates().clone()));
+    ExitCode::SUCCESS
+}
+
+fn cmd_sweep(args: &[String], full_report: bool) -> ExitCode {
+    let duration = match flag_value(args, "--duration").unwrap_or("60").parse::<u64>() {
+        Ok(secs) if secs > 0 => SimDuration::from_secs(secs),
+        _ => {
+            eprintln!("--duration must be a positive number of seconds");
+            return ExitCode::FAILURE;
+        }
+    };
+    let seed = match flag_value(args, "--seed").unwrap_or("9").parse::<u64>() {
+        Ok(seed) => seed,
+        Err(_) => {
+            eprintln!("--seed must be an unsigned integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    // 0 = all available cores; 1 = the exact legacy serial path.
+    let jobs = match flag_value(args, "--jobs").unwrap_or("0").parse::<usize>() {
+        Ok(jobs) => jobs,
+        Err(_) => {
+            eprintln!("--jobs must be an unsigned integer (0 = all cores)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let config = sweep::SweepConfig {
+        duration,
+        seed,
+        quarter_resolution: true,
+        jobs,
+    };
+    eprintln!(
+        "running the 30-app sweep (3 policies × 30 apps, {} s per run)…",
+        duration.as_secs_f64()
+    );
+    let (s, timing) = sweep::run_timed(&config);
+    if full_report {
+        println!("{}\n", s.fig9());
+        println!("{}\n", s.fig10());
+        println!("{}\n", s.fig11());
+    }
+    println!("{}", s.table1_text());
+    eprintln!("\n{timing}");
     ExitCode::SUCCESS
 }
 

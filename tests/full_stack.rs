@@ -49,7 +49,7 @@ fn drive(
         }
         if t == next_submit {
             frame += 1;
-            let content = frame % content_every == 0;
+            let content = frame.is_multiple_of(content_every);
             if content {
                 flinger
                     .surface_mut(app)
