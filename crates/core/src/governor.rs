@@ -7,7 +7,9 @@
 //! to the panel's [`RefreshController`](ccdem_panel::RefreshController).
 
 use std::fmt;
+use std::sync::Arc;
 
+use ccdem_obs::{AtomicHistogram, Counter, Obs};
 use ccdem_pixelbuf::buffer::FrameBuffer;
 use ccdem_pixelbuf::geometry::Resolution;
 use ccdem_pixelbuf::grid::GridSampler;
@@ -273,6 +275,27 @@ pub struct Governor {
     damper: SwitchDamper,
     decisions: Trace,
     last_decision: RefreshRate,
+    obs: Obs,
+    metrics: GovernorMetrics,
+}
+
+/// Shared handles into the global metrics registry.
+#[derive(Debug, Clone)]
+struct GovernorMetrics {
+    decisions: Arc<Counter>,
+    touch_boosts: Arc<Counter>,
+    content_fps: Arc<AtomicHistogram>,
+}
+
+impl GovernorMetrics {
+    fn from_registry() -> GovernorMetrics {
+        let registry = ccdem_obs::metrics();
+        GovernorMetrics {
+            decisions: registry.counter("governor.decisions"),
+            touch_boosts: registry.counter("governor.touch_boosts"),
+            content_fps: registry.histogram("governor.content_fps", 0.0, 60.0, 12),
+        }
+    }
 }
 
 impl Governor {
@@ -298,7 +321,17 @@ impl Governor {
             damper: SwitchDamper::new(config.down_dwell()),
             decisions: Trace::new(),
             last_decision,
+            obs: Obs::disabled(),
+            metrics: GovernorMetrics::from_registry(),
         }
+    }
+
+    /// Routes decision telemetry through `obs` and propagates the handle
+    /// to the content-rate meter. Decisions are unaffected: telemetry
+    /// flows strictly outward.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.meter.attach_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// The governor's configuration.
@@ -342,6 +375,14 @@ impl Governor {
         if self.config.policy().uses_touch_boost() {
             let rate = self.damper.apply(self.rates.max());
             self.record_decision(now, rate);
+            self.metrics.decisions.inc();
+            self.metrics.touch_boosts.inc();
+            self.obs.emit("governor.decision", now, |event| {
+                event
+                    .field("trigger", "touch")
+                    .field("rate_hz", rate.hz())
+                    .field("boost", true);
+            });
             Some(rate)
         } else {
             None
@@ -356,13 +397,16 @@ impl Governor {
     /// One control tick: measures the content rate over the trailing
     /// window and returns the refresh rate to apply.
     pub fn decide(&mut self, now: SimTime) -> RefreshRate {
-        let cr = self.filter.update(self.measured_content_rate(now));
+        let measured = self.measured_content_rate(now);
+        let cr = self.filter.update(measured);
+        let boost_active =
+            self.config.policy().uses_touch_boost() && self.booster.is_active(now);
         let proposed = match self.config.policy() {
             Policy::FixedMax => self.rates.max(),
             Policy::NaiveMatch => self.naive.rate_for(cr),
             Policy::SectionOnly => self.table.rate_for(cr),
             Policy::SectionWithBoost => {
-                if self.booster.is_active(now) {
+                if boost_active {
                     self.rates.max()
                 } else {
                     self.table.rate_for(cr)
@@ -371,6 +415,17 @@ impl Governor {
         };
         let rate = self.damper.apply(proposed);
         self.record_decision(now, rate);
+        self.metrics.decisions.inc();
+        self.metrics.content_fps.record(measured.fps());
+        self.obs.emit("governor.decision", now, |event| {
+            event
+                .field("trigger", "tick")
+                .field("content_fps", measured.fps())
+                .field("filtered_fps", cr.fps())
+                .field("proposed_hz", proposed.hz())
+                .field("rate_hz", rate.hz())
+                .field("boost", boost_active);
+        });
         rate
     }
 

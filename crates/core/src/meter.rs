@@ -11,6 +11,10 @@
 //! *double buffering*): the snapshot being compared is never the one being
 //! written, and no allocation happens on the per-frame path.
 
+use std::sync::Arc;
+use std::time::Instant;
+
+use ccdem_obs::{AtomicHistogram, Counter, Obs};
 use ccdem_pixelbuf::buffer::FrameBuffer;
 use ccdem_pixelbuf::grid::GridSampler;
 use ccdem_pixelbuf::pixel::Pixel;
@@ -32,6 +36,36 @@ impl FrameClass {
     /// Whether the frame was classified as meaningful.
     pub fn is_meaningful(self) -> bool {
         matches!(self, FrameClass::Meaningful)
+    }
+
+    /// Lower-case label used in telemetry events.
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameClass::Meaningful => "meaningful",
+            FrameClass::Redundant => "redundant",
+        }
+    }
+}
+
+/// Shared handles into the global metrics registry; cloned per meter so
+/// every run accumulates into the same process-wide counters.
+#[derive(Debug, Clone)]
+struct MeterMetrics {
+    frames: Arc<Counter>,
+    meaningful: Arc<Counter>,
+    redundant: Arc<Counter>,
+    diff_us: Arc<AtomicHistogram>,
+}
+
+impl MeterMetrics {
+    fn from_registry() -> MeterMetrics {
+        let registry = ccdem_obs::metrics();
+        MeterMetrics {
+            frames: registry.counter("meter.frames"),
+            meaningful: registry.counter("meter.meaningful"),
+            redundant: registry.counter("meter.redundant"),
+            diff_us: registry.histogram("meter.diff_us", 0.0, 1_000.0, 20),
+        }
     }
 }
 
@@ -67,11 +101,16 @@ pub struct ContentRateMeter {
     primed: bool,
     frames: EventCounter,
     meaningful: EventCounter,
+    obs: Obs,
+    metrics: MeterMetrics,
 }
 
 impl ContentRateMeter {
     /// Creates a meter using `sampler` for grid-based comparison.
     pub fn new(sampler: GridSampler) -> ContentRateMeter {
+        ccdem_obs::metrics()
+            .gauge("meter.grid_px")
+            .set(sampler.sample_count() as f64);
         ContentRateMeter {
             sampler,
             front: Vec::new(),
@@ -79,7 +118,16 @@ impl ContentRateMeter {
             primed: false,
             frames: EventCounter::new(),
             meaningful: EventCounter::new(),
+            obs: Obs::disabled(),
+            metrics: MeterMetrics::from_registry(),
         }
+    }
+
+    /// Routes per-frame telemetry events through `obs`. Metering results
+    /// are unaffected: the meter emits events about its classifications
+    /// but never reads anything back from the sink.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The sampler in use.
@@ -109,20 +157,38 @@ impl ContentRateMeter {
     /// Panics if the framebuffer resolution does not match the sampler's.
     pub fn observe(&mut self, framebuffer: &FrameBuffer, now: SimTime) -> FrameClass {
         self.frames.record(now);
-        let class = if !self.primed {
+        let started = Instant::now();
+        let (class, points_compared) = if !self.primed {
             self.primed = true;
-            FrameClass::Meaningful
-        } else if self.sampler.differs(framebuffer, &self.front) {
-            FrameClass::Meaningful
+            (FrameClass::Meaningful, 0)
         } else {
-            FrameClass::Redundant
+            let compare = self.sampler.compare(framebuffer, &self.front);
+            let class = if compare.differs {
+                FrameClass::Meaningful
+            } else {
+                FrameClass::Redundant
+            };
+            (class, compare.points_compared)
         };
         // Capture into the back snapshot, then promote it (ping-pong).
         self.sampler.sample_into(framebuffer, &mut self.back);
         std::mem::swap(&mut self.front, &mut self.back);
+        let diff_us = started.elapsed().as_secs_f64() * 1e6;
         if class.is_meaningful() {
             self.meaningful.record(now);
+            self.metrics.meaningful.inc();
+        } else {
+            self.metrics.redundant.inc();
         }
+        self.metrics.frames.inc();
+        self.metrics.diff_us.record(diff_us);
+        self.obs.emit("meter.frame", now, |event| {
+            event
+                .field("class", class.name())
+                .field("sampled_px", self.sampler.sample_count())
+                .field("compared_px", points_compared)
+                .field("diff_us", diff_us);
+        });
         class
     }
 

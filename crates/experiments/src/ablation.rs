@@ -15,10 +15,11 @@
 use std::fmt;
 
 use ccdem_core::governor::{GovernorConfig, Policy};
+use ccdem_obs::Obs;
 use ccdem_power::model::PowerCoefficients;
 use ccdem_metrics::table::TextTable;
 use ccdem_simkit::parallel::ParallelRunner;
-use ccdem_simkit::time::SimDuration;
+use ccdem_simkit::time::{SimDuration, SimTime};
 use ccdem_workloads::catalog;
 
 use crate::scenario::{scaled_budget, Scenario, Workload};
@@ -283,8 +284,14 @@ pub fn psr_sweep(config: &AblationConfig) -> Ablation {
 }
 
 /// Runs every ablation.
-pub fn run_all(config: &AblationConfig) -> Vec<Ablation> {
-    vec![
+///
+/// Emits one `ablation.point` telemetry event per measured configuration
+/// on `obs` (sim-time zero: ablation points summarise whole runs rather
+/// than moments inside one). Telemetry never feeds back into the sweeps,
+/// so the returned ablations are identical whether `obs` is enabled or
+/// not.
+pub fn run_all(config: &AblationConfig, obs: &Obs) -> Vec<Ablation> {
+    let ablations = vec![
         control_window_sweep(config),
         grid_budget_sweep(config),
         boost_hold_sweep(config),
@@ -292,7 +299,21 @@ pub fn run_all(config: &AblationConfig) -> Vec<Ablation> {
         smoothing_sweep(config),
         down_dwell_sweep(config),
         psr_sweep(config),
-    ]
+    ];
+    for ablation in &ablations {
+        for point in &ablation.points {
+            obs.emit("ablation.point", SimTime::ZERO, |event| {
+                event
+                    .field("sweep", ablation.name.clone())
+                    .field("label", point.label.clone())
+                    .field("saved_mw", point.saved_mw)
+                    .field("quality_pct", point.quality_pct)
+                    .field("dropped_fps", point.dropped_fps)
+                    .field("switches", point.switches);
+            });
+        }
+    }
+    ablations
 }
 
 #[cfg(test)]

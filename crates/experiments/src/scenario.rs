@@ -21,6 +21,7 @@
 
 use ccdem_compositor::flinger::{ComposeOutcome, SurfaceFlinger};
 use ccdem_core::governor::{Governor, GovernorConfig, Policy};
+use ccdem_obs::Obs;
 use ccdem_panel::controller::RefreshController;
 use ccdem_panel::device::DeviceProfile;
 use ccdem_panel::panel::Panel;
@@ -136,6 +137,11 @@ pub struct Scenario {
     /// composes above the app, adding a steady ~1 fps of small content
     /// changes system-wide.
     pub status_bar: bool,
+    /// Telemetry handle; disabled by default. When enabled, the engine
+    /// and every instrumented component (governor, meter, controller,
+    /// panel) emit structured events through it. Telemetry never feeds
+    /// back into the simulation, so results are identical either way.
+    pub obs: Obs,
 }
 
 impl Scenario {
@@ -152,6 +158,7 @@ impl Scenario {
             duration: SimDuration::from_secs(60),
             seed: 0xC0DE,
             status_bar: false,
+            obs: Obs::disabled(),
         }
     }
 
@@ -187,6 +194,12 @@ impl Scenario {
     /// Adds a status-bar overlay that updates its clock once per second.
     pub fn with_status_bar(mut self) -> Scenario {
         self.status_bar = true;
+        self
+    }
+
+    /// Routes run telemetry through `obs` (see the `obs` field).
+    pub fn with_obs(mut self, obs: Obs) -> Scenario {
+        self.obs = obs;
         self
     }
 
@@ -241,6 +254,7 @@ struct Engine<'a> {
     power_meter: PowerMeter,
     input: InputContext,
     script: MonkeyScript,
+    obs: Obs,
 }
 
 impl<'a> Engine<'a> {
@@ -268,14 +282,17 @@ impl<'a> Engine<'a> {
             id
         });
 
-        let governor = Governor::new(device.rates().clone(), resolution, scenario.governor);
-        let controller = RefreshController::new(
+        let mut governor = Governor::new(device.rates().clone(), resolution, scenario.governor);
+        governor.attach_obs(scenario.obs.clone());
+        let mut controller = RefreshController::new(
             device.rates().clone(),
             device.rates().max(),
             device.rate_switch_latency(),
         );
+        controller.attach_obs(scenario.obs.clone());
         let vsync = VsyncScheduler::new(controller.current(), SimTime::ZERO);
-        let panel = Panel::new(device.clone());
+        let mut panel = Panel::new(device.clone());
+        panel.attach_obs(scenario.obs.clone());
         let power_meter = PowerMeter::new(POWER_SAMPLE_INTERVAL, scenario.meter_noise_mw.max(0.0));
         let script = MonkeyScript::generate(&scenario.monkey, scenario.duration, &mut script_rng);
 
@@ -312,10 +329,19 @@ impl<'a> Engine<'a> {
             power_meter,
             input: InputContext::default(),
             script,
+            obs: scenario.obs.clone(),
         }
     }
 
     fn run(mut self) -> RunResult {
+        let app_name = self.app.name().to_string();
+        self.obs.emit("run.start", SimTime::ZERO, |event| {
+            event
+                .field("app", app_name.clone())
+                .field("policy", format!("{:?}", self.scenario.governor.policy()))
+                .field("seed", self.scenario.seed)
+                .field("duration_s", self.scenario.duration.as_secs_f64());
+        });
         while let Some((now, event)) = self.queue.pop() {
             if now >= self.end {
                 break;
@@ -355,6 +381,10 @@ impl<'a> Engine<'a> {
             self.vsync.set_rate(rate);
         }
         if let ComposeOutcome::Composed { .. } = self.flinger.compose(edge) {
+            let generation = self.flinger.framebuffer().generation();
+            self.obs.emit("framebuffer.update", edge, |event| {
+                event.field("generation", generation);
+            });
             self.governor
                 .on_framebuffer_update(self.flinger.framebuffer(), edge);
         }
@@ -375,6 +405,7 @@ impl<'a> Engine<'a> {
     }
 
     fn on_touch(&mut self, now: SimTime) {
+        self.obs.emit("input.touch", now, |_| {});
         self.input.last_touch = Some(now);
         if let Some(rate) = self.governor.on_touch(now) {
             self.controller
@@ -447,19 +478,32 @@ impl<'a> Engine<'a> {
         let scanouts: Vec<SimTime> = self.panel.content_scanouts().iter().collect();
         let touch_latencies = ccdem_metrics::latency::input_to_photon(&touch_times, &scanouts);
 
+        let avg_power_mw = self.power_meter.average_power(SimTime::ZERO, end).value();
+        let avg_refresh_hz = self
+            .controller
+            .history()
+            .time_weighted_mean(SimTime::ZERO, end);
+        let refresh_switches = self.controller.switches();
+        let quality_pct =
+            ccdem_metrics::quality::display_quality_pct(displayed_fps, actual_fps);
+        self.obs.emit("run.end", end, |event| {
+            event
+                .field("avg_power_mw", avg_power_mw)
+                .field("avg_refresh_hz", avg_refresh_hz)
+                .field("refresh_switches", refresh_switches)
+                .field("quality_pct", quality_pct);
+        });
+
         RunResult {
             app_name: self.app.name().to_string(),
             app_class: self.app.class(),
             policy: self.scenario.governor.policy(),
             duration,
-            avg_power_mw: self.power_meter.average_power(SimTime::ZERO, end).value(),
+            avg_power_mw,
             power_per_second: self.power_meter.per_second(duration),
             refresh_trace: self.controller.history().clone(),
-            refresh_switches: self.controller.switches(),
-            avg_refresh_hz: self
-                .controller
-                .history()
-                .time_weighted_mean(SimTime::ZERO, end),
+            refresh_switches,
+            avg_refresh_hz,
             submissions_per_second: stats.submissions().per_second(duration),
             frame_rate_per_second: stats.composed().per_second(duration),
             actual_content_per_second: stats.content_submissions().per_second(duration),

@@ -16,6 +16,7 @@ use std::time::Instant;
 
 use ccdem_core::governor::Policy;
 use ccdem_metrics::summary::{AppRunSummary, ClassAggregate};
+use ccdem_obs::Obs;
 use ccdem_metrics::table::TextTable;
 use ccdem_metrics::timing::{RunTiming, TimingReport};
 use ccdem_simkit::parallel::{derive_seed, ParallelRunner};
@@ -135,6 +136,17 @@ pub fn run(config: &SweepConfig) -> Sweep {
 /// results are collected in input order, so the returned [`Sweep`] is
 /// identical for any worker count.
 pub fn run_timed(config: &SweepConfig) -> (Sweep, TimingReport) {
+    run_timed_with_obs(config, &Obs::disabled())
+}
+
+/// [`run_timed`], with every run's telemetry routed through `obs`.
+///
+/// Worker threads emit into the shared sink concurrently, so the
+/// inter-run interleaving of exported events is nondeterministic — but
+/// the simulations themselves never read from the sink, so the returned
+/// [`Sweep`] stays byte-identical to an un-instrumented one (this is
+/// asserted by the `obs_determinism` integration test).
+pub fn run_timed_with_obs(config: &SweepConfig, obs: &Obs) -> (Sweep, TimingReport) {
     let specs = catalog::all_apps();
     let items: Vec<(usize, AppSpec, Policy)> = specs
         .into_iter()
@@ -146,12 +158,21 @@ pub fn run_timed(config: &SweepConfig) -> (Sweep, TimingReport) {
 
     let runner = ParallelRunner::new(config.jobs);
     let started = Instant::now();
+    obs.emit("sweep.start", ccdem_simkit::time::SimTime::ZERO, |event| {
+        event
+            .field("apps", items.len() / SWEEP_POLICIES.len())
+            .field("runs", items.len())
+            .field("jobs", runner.jobs());
+    });
+    let mut span = obs.span("sweep", ccdem_simkit::time::SimTime::ZERO);
+    span.field("runs", items.len());
     let runs = runner.run_many(items, |_, (app_index, spec, policy)| {
         let seed = derive_seed(config.seed, app_index as u64);
         let run_started = Instant::now();
         let mut s = Scenario::new(Workload::App(spec), policy)
             .with_duration(config.duration)
-            .with_seed(seed);
+            .with_seed(seed)
+            .with_obs(obs.clone());
         if config.quarter_resolution {
             s = s.at_quarter_resolution();
         }

@@ -7,6 +7,8 @@
 //!   boosting.
 //! * [`summary`] — per-app run summaries and per-class mean ± std
 //!   aggregates (Table 1).
+//! * [`obs_report`] — rendering of telemetry-metrics snapshots
+//!   ([`ccdem_obs::MetricsSnapshot`]) in report style.
 //! * [`table`] — plain-text table rendering for experiment reports.
 //! * [`timing`] — host wall-clock timing of experiment batches, so the
 //!   parallel runner's speedup is observable in reports.
@@ -22,12 +24,14 @@
 //! ```
 
 pub mod latency;
+pub mod obs_report;
 pub mod quality;
 pub mod summary;
 pub mod table;
 pub mod timing;
 
 pub use latency::{input_to_photon, LatencySummary};
+pub use obs_report::obs_summary;
 pub use quality::{display_quality, display_quality_pct, dropped_fps};
 pub use summary::{AppRunSummary, ClassAggregate};
 pub use table::TextTable;

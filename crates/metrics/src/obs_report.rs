@@ -1,0 +1,108 @@
+//! Rendering of telemetry-metrics snapshots for experiment reports.
+//!
+//! Turns a [`MetricsSnapshot`] — typically the delta between snapshots
+//! taken before and after a sweep — into the same plain-text table style
+//! as the rest of the reports, followed by ASCII renderings of any
+//! non-empty histograms.
+
+use ccdem_obs::MetricsSnapshot;
+
+use crate::table::TextTable;
+
+/// Renders `snapshot` as a text table of counters and gauges followed by
+/// histogram plots.
+///
+/// `runs`, when given, adds a per-run column dividing each counter by the
+/// number of simulation runs the snapshot covers — the natural reading
+/// for counters accumulated across a sweep.
+///
+/// # Examples
+///
+/// ```
+/// use ccdem_metrics::obs_report::obs_summary;
+/// use ccdem_obs::MetricsRegistry;
+///
+/// let registry = MetricsRegistry::new();
+/// registry.counter("meter.frames").add(120);
+/// registry.gauge("meter.grid_px").set(9216.0);
+/// let text = obs_summary(&registry.snapshot(), Some(2));
+/// assert!(text.contains("meter.frames"));
+/// assert!(text.contains("60")); // 120 frames over 2 runs
+/// ```
+pub fn obs_summary(snapshot: &MetricsSnapshot, runs: Option<usize>) -> String {
+    if snapshot.counters.is_empty()
+        && snapshot.gauges.is_empty()
+        && snapshot.histograms.is_empty()
+    {
+        return String::from("no telemetry metrics recorded\n");
+    }
+
+    let mut table = match runs {
+        Some(_) => TextTable::new(["metric", "kind", "value", "per-run"]),
+        None => TextTable::new(["metric", "kind", "value"]),
+    };
+    for (name, &value) in &snapshot.counters {
+        let mut cells = vec![name.clone(), "counter".into(), value.to_string()];
+        if let Some(runs) = runs {
+            cells.push(format!("{:.1}", value as f64 / runs.max(1) as f64));
+        }
+        table.row(cells);
+    }
+    for (name, &value) in &snapshot.gauges {
+        let mut cells = vec![name.clone(), "gauge".into(), format!("{value:.1}")];
+        if runs.is_some() {
+            cells.push(String::from("-"));
+        }
+        table.row(cells);
+    }
+
+    let mut out = table.to_string();
+    for (name, histogram) in &snapshot.histograms {
+        if histogram.total() == 0 {
+            continue;
+        }
+        out.push('\n');
+        out.push_str(&format!("{name} ({} samples)\n", histogram.total()));
+        out.push_str(&histogram.to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdem_obs::MetricsRegistry;
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let registry = MetricsRegistry::new();
+        let text = obs_summary(&registry.snapshot(), None);
+        assert!(text.contains("no telemetry metrics"));
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_all_render() {
+        let registry = MetricsRegistry::new();
+        registry.counter("governor.decisions").add(33);
+        registry.gauge("meter.grid_px").set(2304.0);
+        let h = registry.histogram("governor.content_fps", 0.0, 60.0, 6);
+        h.record(5.0);
+        h.record(25.0);
+        let text = obs_summary(&registry.snapshot(), Some(3));
+        assert!(text.contains("governor.decisions"));
+        assert!(text.contains("11.0"), "per-run column missing:\n{text}");
+        assert!(text.contains("meter.grid_px"));
+        assert!(text.contains("2304.0"));
+        assert!(text.contains("governor.content_fps (2 samples)"));
+        assert!(text.contains('#'), "histogram bars missing:\n{text}");
+    }
+
+    #[test]
+    fn empty_histograms_are_omitted() {
+        let registry = MetricsRegistry::new();
+        registry.counter("c").inc();
+        let _ = registry.histogram("h", 0.0, 1.0, 2);
+        let text = obs_summary(&registry.snapshot(), None);
+        assert!(!text.contains("h ("));
+    }
+}

@@ -1,0 +1,166 @@
+//! Structured telemetry events: a name, two timestamps, and typed fields.
+
+use std::borrow::Cow;
+
+use ccdem_simkit::time::SimTime;
+
+/// A typed field value.
+///
+/// # Examples
+///
+/// ```
+/// use ccdem_obs::Value;
+///
+/// let v: Value = 9216usize.into();
+/// assert_eq!(v, Value::U64(9216));
+/// assert_eq!(Value::from("tick"), Value::Str("tick".into()));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point. Non-finite values serialize as JSON `null`.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (static or owned).
+    Str(Cow<'static, str>),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Value {
+        Value::Str(Cow::Borrowed(v))
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(Cow::Owned(v))
+    }
+}
+
+/// One telemetry record.
+///
+/// `sim_us` is the deterministic simulation timestamp (microseconds since
+/// run start); `host_us` is stamped from a process-wide monotonic clock
+/// when the event is emitted through an enabled [`Obs`](crate::Obs)
+/// handle, and is *not* reproducible across runs — which is why host times
+/// never appear in simulation results, only in exported telemetry.
+///
+/// # Examples
+///
+/// ```
+/// use ccdem_obs::{Event, Value};
+/// use ccdem_simkit::time::SimTime;
+///
+/// let mut e = Event::new("meter.frame", SimTime::from_millis(16));
+/// e.field("class", "meaningful").field("sampled_px", 9216usize);
+/// assert_eq!(e.sim_us, 16_000);
+/// assert_eq!(e.get("class"), Some(&Value::Str("meaningful".into())));
+/// assert!(e.to_jsonl().starts_with("{\"event\":\"meter.frame\""));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Dotted event name, e.g. `"governor.decision"`.
+    pub name: &'static str,
+    /// Simulation time in microseconds since the run start.
+    pub sim_us: u64,
+    /// Host-monotonic time in microseconds since process start, if the
+    /// event was stamped at emission.
+    pub host_us: Option<u64>,
+    /// Key/value fields, in insertion order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Creates an event named `name` at simulation time `now`, with no
+    /// host stamp and no fields.
+    pub fn new(name: &'static str, now: SimTime) -> Event {
+        Event {
+            name,
+            sim_us: now.as_micros(),
+            host_us: None,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field. Keys are not deduplicated; emit each key once.
+    pub fn field(&mut self, key: &'static str, value: impl Into<Value>) -> &mut Event {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// The value of field `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields
+            .iter()
+            .find_map(|(k, v)| (*k == key).then_some(v))
+    }
+
+    /// Serializes the event as one JSON line (no trailing newline). See
+    /// [`crate::json`] for the format.
+    pub fn to_jsonl(&self) -> String {
+        crate::json::event_to_json(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_cover_all_primitives() {
+        assert_eq!(Value::from(3u64), Value::U64(3));
+        assert_eq!(Value::from(3u32), Value::U64(3));
+        assert_eq!(Value::from(-3i64), Value::I64(-3));
+        assert_eq!(Value::from(1.5f64), Value::F64(1.5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(String::from("x")), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn get_finds_fields_by_key() {
+        let mut e = Event::new("x", SimTime::ZERO);
+        e.field("a", 1u64).field("b", false);
+        assert_eq!(e.get("b"), Some(&Value::Bool(false)));
+        assert_eq!(e.get("missing"), None);
+    }
+}

@@ -1,0 +1,65 @@
+//! Human-facing progress output with a process-wide quiet switch.
+//!
+//! CLI progress messages ("running the 30-app sweep…") go to stderr via
+//! the [`progress!`](crate::progress!) macro so that `--quiet` can turn
+//! them all off in one place. Progress output is presentation, not data:
+//! results and reports still print to stdout regardless of quiet mode.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Suppresses (or re-enables) all [`progress!`](crate::progress!) output
+/// process-wide.
+pub fn set_quiet(quiet: bool) {
+    QUIET.store(quiet, Ordering::Relaxed);
+}
+
+/// Whether progress output is currently suppressed.
+pub fn quiet() -> bool {
+    QUIET.load(Ordering::Relaxed)
+}
+
+/// Prints one progress line to stderr unless quiet mode is on. Prefer the
+/// [`progress!`](crate::progress!) macro over calling this directly.
+pub fn emit(args: fmt::Arguments<'_>) {
+    if !quiet() {
+        eprintln!("{args}");
+    }
+}
+
+/// Prints a formatted progress line to stderr, suppressed by
+/// [`progress::set_quiet`](set_quiet).
+///
+/// # Examples
+///
+/// ```
+/// use ccdem_obs::progress;
+///
+/// ccdem_obs::progress::set_quiet(true);
+/// progress!("simulating {} apps...", 30); // silent
+/// ccdem_obs::progress::set_quiet(false);
+/// ```
+#[macro_export]
+macro_rules! progress {
+    ($($arg:tt)*) => {
+        $crate::progress::emit(format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_flag_round_trips() {
+        let initial = quiet();
+        set_quiet(true);
+        assert!(quiet());
+        progress!("suppressed {}", 1);
+        set_quiet(false);
+        assert!(!quiet());
+        set_quiet(initial);
+    }
+}

@@ -1,0 +1,243 @@
+//! Event sinks: where emitted telemetry goes.
+//!
+//! Three implementations cover the repo's needs: [`NullSink`] (drop
+//! everything — useful when a concrete sink is required but output is
+//! not), [`RingSink`] (bounded in-memory buffer for tests), and
+//! [`JsonlSink`] (append one JSON line per event to a writer).
+//!
+//! All sinks are `Send + Sync`; a single sink may receive events from
+//! several simulation worker threads at once. Sinks must never panic or
+//! propagate I/O errors into the simulation — telemetry failures are
+//! silently dropped so an exhausted disk cannot change a run's results.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::event::Event;
+
+/// Destination for emitted [`Event`]s.
+pub trait EventSink: Send + Sync {
+    /// Accepts one event. Implementations must not panic.
+    fn emit(&self, event: Event);
+
+    /// Forces buffered output out (default: no-op).
+    fn flush(&self) {}
+}
+
+/// Discards every event.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use ccdem_obs::{Obs, NullSink};
+/// use ccdem_simkit::time::SimTime;
+///
+/// let obs = Obs::to_sink(Arc::new(NullSink));
+/// assert!(obs.enabled()); // events are constructed, then dropped
+/// obs.emit("x", SimTime::ZERO, |_| {});
+/// ```
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _event: Event) {}
+}
+
+/// Keeps the most recent `capacity` events in memory.
+///
+/// Intended for tests: run instrumented code, then inspect
+/// [`events`](RingSink::events).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use ccdem_obs::{Obs, RingSink};
+/// use ccdem_simkit::time::SimTime;
+///
+/// let sink = Arc::new(RingSink::new(2));
+/// let obs = Obs::to_sink(sink.clone());
+/// for i in 0..5u64 {
+///     obs.emit("tick", SimTime::from_micros(i), |_| {});
+/// }
+/// let events = sink.events();
+/// assert_eq!(events.len(), 2);
+/// assert_eq!(events[0].sim_us, 3); // oldest events were evicted
+/// ```
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    buffer: Mutex<VecDeque<Event>>,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            capacity: capacity.max(1),
+            buffer: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.buffer.lock().map_or_else(
+            |poisoned| poisoned.into_inner().iter().cloned().collect(),
+            |buffer| buffer.iter().cloned().collect(),
+        )
+    }
+
+    /// How many events are currently buffered.
+    pub fn len(&self) -> usize {
+        self.buffer
+            .lock()
+            .map_or_else(|poisoned| poisoned.into_inner().len(), |buffer| buffer.len())
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for RingSink {
+    fn emit(&self, event: Event) {
+        if let Ok(mut buffer) = self.buffer.lock() {
+            if buffer.len() == self.capacity {
+                buffer.pop_front();
+            }
+            buffer.push_back(event);
+        }
+    }
+}
+
+/// Writes each event as one JSON line (see [`crate::json`]).
+///
+/// Output is buffered; call [`flush`](EventSink::flush) (or
+/// [`Obs::flush`](crate::Obs::flush)) before reading the file. Write
+/// errors are swallowed — telemetry must never abort a simulation — but
+/// [`lines_written`](JsonlSink::lines_written) counts only successful
+/// writes, so callers can detect truncation.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<Box<dyn Write + Send>>>,
+    lines: AtomicU64,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) `path` and writes events to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<JsonlSink> {
+        Ok(JsonlSink::to_writer(File::create(path)?))
+    }
+
+    /// Writes events to an arbitrary writer (e.g. a `Vec<u8>` in tests).
+    pub fn to_writer(writer: impl Write + Send + 'static) -> JsonlSink {
+        JsonlSink {
+            writer: Mutex::new(BufWriter::new(Box::new(writer))),
+            lines: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of lines successfully written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.lines.load(Ordering::Relaxed)
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&self, event: Event) {
+        let mut line = event.to_jsonl();
+        line.push('\n');
+        if let Ok(mut writer) = self.writer.lock() {
+            if writer.write_all(line.as_bytes()).is_ok() {
+                self.lines.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn flush(&self) {
+        if let Ok(mut writer) = self.writer.lock() {
+            let _ = writer.flush();
+        }
+    }
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("lines", &self.lines_written())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdem_simkit::time::SimTime;
+    use std::sync::Arc;
+
+    /// A writer handing bytes to a shared buffer, for inspecting sink output.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_newest_events() {
+        let sink = RingSink::new(3);
+        for i in 0..10u64 {
+            sink.emit(Event::new("e", SimTime::from_micros(i)));
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.sim_us).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn ring_capacity_is_clamped_to_one() {
+        let sink = RingSink::new(0);
+        sink.emit(Event::new("a", SimTime::ZERO));
+        sink.emit(Event::new("b", SimTime::ZERO));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.events()[0].name, "b");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_parseable_line_per_event() {
+        let buf = SharedBuf::default();
+        let sink = JsonlSink::to_writer(buf.clone());
+        let mut e = Event::new("run.start", SimTime::ZERO);
+        e.field("app", "facebook");
+        sink.emit(e);
+        sink.emit(Event::new("run.end", SimTime::from_millis(5)));
+        sink.flush();
+        assert_eq!(sink.lines_written(), 2);
+
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            crate::json::parse(line).expect("sink output must be valid JSON");
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Scoped timers that emit an event when dropped.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use ccdem_simkit::time::SimTime;
+
+use crate::event::Value;
+use crate::Obs;
+
+/// Microseconds of host-monotonic time since the first telemetry emission
+/// in this process. Host stamps order events across threads but are not
+/// reproducible across runs; they never appear in simulation results.
+pub fn host_micros() -> u64 {
+    static START: OnceLock<Instant> = OnceLock::new();
+    let start = *START.get_or_init(Instant::now);
+    start.elapsed().as_micros() as u64
+}
+
+/// A scoped host-time measurement.
+///
+/// Created with [`Obs::span`]; when dropped it emits an event carrying any
+/// fields added via [`field`](Span::field) plus `host_dur_us`, the
+/// wall-clock duration of the span on the host. The simulation timestamp
+/// is the one given at [`start`](Span::start) — spans measure *harness*
+/// cost (how long a sweep took to execute), not simulated time.
+///
+/// On a disabled handle a span does nothing and takes no clock readings.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use ccdem_obs::{Obs, RingSink, Value};
+/// use ccdem_simkit::time::SimTime;
+///
+/// let sink = Arc::new(RingSink::new(4));
+/// let obs = Obs::to_sink(sink.clone());
+/// {
+///     let mut span = obs.span("sweep", SimTime::ZERO);
+///     span.field("runs", 90usize);
+/// } // emits here
+/// let events = sink.events();
+/// assert_eq!(events[0].name, "sweep");
+/// assert_eq!(events[0].get("runs"), Some(&Value::U64(90)));
+/// assert!(events[0].get("host_dur_us").is_some());
+/// ```
+#[derive(Debug)]
+pub struct Span<'a> {
+    obs: &'a Obs,
+    name: &'static str,
+    now: SimTime,
+    started: Option<Instant>,
+    fields: Vec<(&'static str, Value)>,
+}
+
+impl<'a> Span<'a> {
+    /// Starts a span; reads the host clock only if `obs` is enabled.
+    pub fn start(obs: &'a Obs, name: &'static str, now: SimTime) -> Span<'a> {
+        Span {
+            obs,
+            name,
+            now,
+            started: obs.enabled().then(Instant::now),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Adds a field to the event emitted on drop.
+    pub fn field(&mut self, key: &'static str, value: impl Into<Value>) -> &mut Span<'a> {
+        if self.started.is_some() {
+            self.fields.push((key, value.into()));
+        }
+        self
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(started) = self.started {
+            let elapsed_us = started.elapsed().as_secs_f64() * 1e6;
+            let fields = std::mem::take(&mut self.fields);
+            self.obs.emit(self.name, self.now, |event| {
+                for (key, value) in fields {
+                    event.fields.push((key, value));
+                }
+                event.field("host_dur_us", elapsed_us);
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::RingSink;
+    use std::sync::Arc;
+
+    #[test]
+    fn host_clock_is_monotonic() {
+        let a = host_micros();
+        let b = host_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn span_emits_duration_on_drop() {
+        let sink = Arc::new(RingSink::new(4));
+        let obs = Obs::to_sink(sink.clone());
+        {
+            let mut span = obs.span("work", SimTime::from_millis(10));
+            span.field("items", 3u64);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "work");
+        assert_eq!(events[0].sim_us, 10_000);
+        assert_eq!(events[0].get("items"), Some(&Value::U64(3)));
+        match events[0].get("host_dur_us") {
+            Some(Value::F64(us)) => assert!(*us >= 1000.0, "slept 1ms, measured {us}us"),
+            other => panic!("expected F64 duration, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_span_emits_nothing_and_skips_the_clock() {
+        let obs = Obs::disabled();
+        let mut span = obs.span("work", SimTime::ZERO);
+        span.field("ignored", 1u64);
+        assert!(span.started.is_none());
+        drop(span);
+    }
+}

@@ -2,7 +2,9 @@
 //! enable refresh rate control at runtime", §4).
 
 use std::fmt;
+use std::sync::Arc;
 
+use ccdem_obs::{Counter, Obs};
 use ccdem_simkit::time::{SimDuration, SimTime};
 use ccdem_simkit::trace::Trace;
 
@@ -60,6 +62,8 @@ pub struct RefreshController {
     latency: SimDuration,
     switches: u64,
     history: Trace,
+    obs: Obs,
+    switch_metric: Arc<Counter>,
 }
 
 impl RefreshController {
@@ -86,7 +90,15 @@ impl RefreshController {
             latency,
             switches: 0,
             history,
+            obs: Obs::disabled(),
+            switch_metric: ccdem_obs::metrics().counter("panel.rate_switches"),
         }
+    }
+
+    /// Routes rate-switch telemetry through `obs`. Switching behaviour is
+    /// unaffected; telemetry flows strictly outward.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The rate currently applied at the panel.
@@ -143,10 +155,15 @@ impl RefreshController {
     pub fn poll(&mut self, now: SimTime) -> Option<RefreshRate> {
         match self.pending {
             Some((at, rate)) if now >= at => {
+                let from = self.current;
                 self.pending = None;
                 self.current = rate;
                 self.switches += 1;
                 self.history.push(now, rate.hz_f64());
+                self.switch_metric.inc();
+                self.obs.emit("panel.rate_switch", now, |event| {
+                    event.field("from_hz", from.hz()).field("to_hz", rate.hz());
+                });
                 Some(rate)
             }
             _ => None,

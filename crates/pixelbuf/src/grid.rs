@@ -12,6 +12,17 @@ use crate::buffer::FrameBuffer;
 use crate::geometry::Resolution;
 use crate::pixel::Pixel;
 
+/// Outcome of one grid comparison: the verdict plus the number of grid
+/// points inspected before [`GridSampler::compare`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridCompare {
+    /// Whether any inspected grid point changed.
+    pub differs: bool,
+    /// Grid points actually read before the early exit (equals
+    /// [`GridSampler::sample_count`] when nothing differed).
+    pub points_compared: usize,
+}
+
 /// Precomputed sample positions for grid-based comparison.
 ///
 /// # Examples
@@ -167,6 +178,44 @@ impl GridSampler {
     ///
     /// Panics if resolutions mismatch or `previous` has the wrong length.
     pub fn differs(&self, buffer: &FrameBuffer, previous: &[Pixel]) -> bool {
+        self.compare(buffer, previous).differs
+    }
+
+    /// Compares the current buffer against a previously captured sample,
+    /// reporting both the verdict and how many grid points were actually
+    /// inspected before the early exit — the per-frame comparison cost
+    /// that grid sampling exists to bound (paper §3.1, Fig. 6).
+    ///
+    /// A redundant frame inspects every point
+    /// ([`sample_count`](Self::sample_count)); a changed frame stops at
+    /// the first differing point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if resolutions mismatch or `previous` has the wrong length.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ccdem_pixelbuf::buffer::FrameBuffer;
+    /// use ccdem_pixelbuf::geometry::Resolution;
+    /// use ccdem_pixelbuf::grid::GridSampler;
+    /// use ccdem_pixelbuf::pixel::Pixel;
+    ///
+    /// let g = GridSampler::new(Resolution::new(100, 100), 10, 10);
+    /// let mut fb = FrameBuffer::new(Resolution::new(100, 100));
+    /// let snap = g.sample(&fb);
+    ///
+    /// let unchanged = g.compare(&fb, &snap);
+    /// assert!(!unchanged.differs);
+    /// assert_eq!(unchanged.points_compared, g.sample_count());
+    ///
+    /// fb.fill(Pixel::WHITE);
+    /// let changed = g.compare(&fb, &snap);
+    /// assert!(changed.differs);
+    /// assert_eq!(changed.points_compared, 1); // first point already differs
+    /// ```
+    pub fn compare(&self, buffer: &FrameBuffer, previous: &[Pixel]) -> GridCompare {
         assert_eq!(
             buffer.resolution(),
             self.resolution,
@@ -178,10 +227,18 @@ impl GridSampler {
             "previous sample has wrong length"
         );
         let pixels = buffer.as_pixels();
-        self.indices
-            .iter()
-            .zip(previous)
-            .any(|(&i, &prev)| pixels[i] != prev)
+        for (n, (&i, &prev)) in self.indices.iter().zip(previous).enumerate() {
+            if pixels[i] != prev {
+                return GridCompare {
+                    differs: true,
+                    points_compared: n + 1,
+                };
+            }
+        }
+        GridCompare {
+            differs: false,
+            points_compared: self.indices.len(),
+        }
     }
 
     /// Number of grid points whose pixel differs from the captured sample.

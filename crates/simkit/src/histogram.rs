@@ -52,6 +52,39 @@ impl Histogram {
         }
     }
 
+    /// Reassembles a histogram from externally accumulated counts, e.g.
+    /// a snapshot of atomically maintained bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Histogram::new`]: `bins`
+    /// must be non-empty and the bounds finite with `lo < hi`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ccdem_simkit::histogram::Histogram;
+    ///
+    /// let h = Histogram::from_parts(0.0, 10.0, vec![3, 1], 0, 2);
+    /// assert_eq!(h.bin_count(0), 3);
+    /// assert_eq!(h.overflow(), 2);
+    /// assert_eq!(h.total(), 6);
+    /// ```
+    pub fn from_parts(lo: f64, hi: f64, bins: Vec<u64>, underflow: u64, overflow: u64) -> Histogram {
+        assert!(!bins.is_empty(), "histogram needs at least one bin");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bounds must be finite with lo < hi"
+        );
+        Histogram {
+            lo,
+            hi,
+            bins,
+            underflow,
+            overflow,
+        }
+    }
+
     /// Records one sample.
     ///
     /// # Panics
@@ -95,6 +128,16 @@ impl Histogram {
     /// Number of bins.
     pub fn bins(&self) -> usize {
         self.bins.len()
+    }
+
+    /// Lower bound of the value range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound (exclusive) of the value range.
+    pub fn hi(&self) -> f64 {
+        self.hi
     }
 
     /// Samples below the range.

@@ -205,12 +205,32 @@ impl FromIterator<(SimTime, f64)> for Trace {
 /// on long or open-ended runs. A counter that is only ever queried over a
 /// trailing window — like the governor's content-rate meter, which looks
 /// back one control window — can bound its memory with
-/// [`with_retention`](Self::with_retention): timestamps older than the
-/// horizon are pruned as new ones arrive, while
-/// [`count`](Self::count) still reports the lifetime total via a
-/// separate counter.
+/// [`with_retention`](Self::with_retention).
+///
+/// # Retention-horizon semantics
+///
+/// A retention horizon splits the API into two families that answer
+/// different questions:
+///
+/// * **Lifetime count** — [`count`](Self::count) is maintained as a
+///   separate integer and reports every occurrence ever recorded,
+///   *including* timestamps that retention has already pruned. It never
+///   shrinks and is unaffected by the horizon.
+/// * **Windowed queries** — [`count_in`](Self::count_in),
+///   [`rate_in`](Self::rate_in), [`per_second`](Self::per_second) and
+///   [`iter`](Self::iter) consult only the *retained* timestamps
+///   ([`retained_len`](Self::retained_len) of them). A span that reaches
+///   further back than the horizon silently undercounts — it is the
+///   caller's responsibility never to query a wider window than it
+///   retains.
+///
+/// Pruning happens on [`record`](Self::record): timestamps strictly older
+/// than `latest - horizon` are dropped, so a timestamp exactly at the
+/// horizon is still retained.
 ///
 /// # Examples
+///
+/// Basic per-second binning:
 ///
 /// ```
 /// use ccdem_simkit::trace::EventCounter;
@@ -221,6 +241,30 @@ impl FromIterator<(SimTime, f64)> for Trace {
 /// c.record(SimTime::from_millis(900));
 /// c.record(SimTime::from_millis(1500));
 /// assert_eq!(c.per_second(SimDuration::from_secs(2)), vec![2.0, 1.0]);
+/// ```
+///
+/// Lifetime vs. windowed counts under a retention horizon:
+///
+/// ```
+/// use ccdem_simkit::trace::EventCounter;
+/// use ccdem_simkit::time::{SimTime, SimDuration};
+///
+/// // 10 events/s with a 1 s horizon.
+/// let mut c = EventCounter::with_retention(SimDuration::from_secs(1));
+/// for i in 0..30u64 {
+///     c.record(SimTime::from_millis(i * 100));
+/// }
+///
+/// // The lifetime count survives pruning...
+/// assert_eq!(c.count(), 30);
+/// // ...but only roughly one second of timestamps stays resident.
+/// assert!(c.retained_len() <= 11);
+///
+/// // Windowed queries within the horizon are exact:
+/// let now = SimTime::from_millis(2_900);
+/// assert_eq!(c.count_in(now - SimDuration::from_secs(1), now), 10);
+/// // Wider than the horizon they undercount — don't do this:
+/// assert!(c.count_in(SimTime::ZERO, now) < 29);
 /// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EventCounter {

@@ -7,4 +7,7 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo test -q --workspace
+# The trace CLI end-to-end: binary runs, JSONL parses, taxonomy holds.
+cargo test -q --test trace_jsonl
 cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

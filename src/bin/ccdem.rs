@@ -6,35 +6,51 @@
 //! ccdem simulate --app <name> [--policy fixed|naive|section|boost]
 //!                [--duration <secs>] [--seed <n>] [--full-res]
 //!                [--csv <file>]
+//! ccdem trace    --out <file.jsonl> [--app <name>] [--policy <p>]
+//!                [--duration <secs>] [--seed <n>] [--full-res]
 //! ccdem sweep    [--duration <secs>] [--seed <n>] [--jobs <n>]
+//!                [--obs summary|none]
 //! ccdem report   [--duration <secs>] [--seed <n>] [--jobs <n>]
+//!                [--obs summary|none]
 //! ```
 //!
 //! `simulate` runs one app under one policy against its fixed-60 Hz
 //! baseline and prints the outcome; `--csv` additionally writes the
-//! per-second time series for plotting. `sweep` runs the 30-app × 3-policy
-//! sweep on a worker pool (`--jobs 1` forces the serial path; the results
-//! are identical either way) and prints Table 1 plus host timing; `report`
-//! prints every sweep-derived view (Figs. 9–11 and Table 1).
+//! per-second time series for plotting. `trace` runs one governed app with
+//! a live telemetry sink and writes every decision-path event — meter
+//! classifications, governor decisions, panel refreshes and rate
+//! switches — as JSON Lines. `sweep` runs the 30-app × 3-policy sweep on a
+//! worker pool (`--jobs 1` forces the serial path; the results are
+//! identical either way) and prints Table 1 plus host timing; `report`
+//! prints every sweep-derived view (Figs. 9–11 and Table 1) plus the
+//! telemetry-metrics summary.
+//!
+//! Every command accepts `--quiet`/`-q` to suppress progress chatter on
+//! stderr; results on stdout are unaffected. Unknown flags are rejected.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use ccdem::core::governor::Policy;
 use ccdem::core::section::SectionTable;
 use ccdem::experiments::export::write_timeseries_csv;
 use ccdem::experiments::{sweep, Scenario, Workload};
+use ccdem::metrics::obs_summary;
+use ccdem::obs::{metrics, JsonlSink, Obs};
 use ccdem::panel::device::DeviceProfile;
 use ccdem::power::battery::Battery;
 use ccdem::power::units::Milliwatts;
 use ccdem::simkit::time::SimDuration;
 use ccdem::workloads::catalog;
+use ccdem_obs::progress;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("catalog") => cmd_catalog(),
+        Some("catalog") => cmd_catalog(&args[1..]),
         Some("table") => cmd_table(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..], false),
         Some("report") => cmd_sweep(&args[1..], true),
         Some("--help") | Some("-h") | None => {
@@ -57,22 +73,113 @@ fn print_usage() {
          table [--device s3|ltpo|tablet]\n                                print the Eq. 1 section table\n  \
          simulate --app <name> [--policy fixed|naive|section|boost]\n           \
          [--duration <secs>] [--seed <n>] [--full-res] [--csv <file>]\n  \
-         sweep [--duration <secs>] [--seed <n>] [--jobs <n>]\n                                \
+         trace --out <file.jsonl> [--app <name>] [--policy <p>]\n        \
+         [--duration <secs>] [--seed <n>] [--full-res]\n                                \
+         run one governed app; export decision-path telemetry as JSONL\n  \
+         sweep [--duration <secs>] [--seed <n>] [--jobs <n>] [--obs summary|none]\n                                \
          run the 30-app sweep; print Table 1 + timing\n  \
-         report [--duration <secs>] [--seed <n>] [--jobs <n>]\n                                \
+         report [--duration <secs>] [--seed <n>] [--jobs <n>] [--obs summary|none]\n                                \
          print Figs. 9-11 and Table 1 from the sweep\n\n\
+         every command accepts --quiet/-q to silence progress output\n\n\
          see also: cargo run --release --example paper_report -- all"
     );
 }
 
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+/// Parsed command-line flags: `--flag value` pairs and boolean switches.
+struct Flags {
+    values: Vec<(&'static str, String)>,
+    switches: Vec<&'static str>,
 }
 
-fn cmd_catalog() -> ExitCode {
+impl Flags {
+    fn value(&self, flag: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev() // last occurrence wins
+            .find(|(name, _)| *name == flag)
+            .map(|(_, value)| value.as_str())
+    }
+
+    fn switch(&self, flag: &str) -> bool {
+        self.switches.contains(&flag)
+    }
+}
+
+/// Strictly parses `args` against the declared flag sets. Any flag not in
+/// `value_flags` or `switch_flags` — or a bare positional argument — is an
+/// error; `--quiet`/`-q` is accepted everywhere and applied immediately.
+fn parse_flags(
+    args: &[String],
+    value_flags: &'static [&'static str],
+    switch_flags: &'static [&'static str],
+) -> Result<Flags, String> {
+    let mut flags = Flags {
+        values: Vec::new(),
+        switches: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--quiet" || arg == "-q" {
+            ccdem::obs::progress::set_quiet(true);
+            continue;
+        }
+        if let Some(&name) = value_flags.iter().find(|&&f| f == arg) {
+            match iter.next() {
+                Some(value) => flags.values.push((name, value.clone())),
+                None => return Err(format!("{arg} requires a value")),
+            }
+        } else if let Some(&name) = switch_flags.iter().find(|&&f| f == arg) {
+            flags.switches.push(name);
+        } else {
+            return Err(format!("unknown flag {arg:?}"));
+        }
+    }
+    Ok(flags)
+}
+
+/// Parses flags or prints the error plus usage and fails.
+macro_rules! parse_or_fail {
+    ($args:expr, $values:expr, $switches:expr) => {
+        match parse_flags($args, $values, $switches) {
+            Ok(flags) => flags,
+            Err(message) => {
+                eprintln!("{message}\n");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+}
+
+fn parse_duration(flags: &Flags, default_secs: &str) -> Result<SimDuration, String> {
+    match flags.value("--duration").unwrap_or(default_secs).parse::<u64>() {
+        Ok(secs) if secs > 0 => Ok(SimDuration::from_secs(secs)),
+        _ => Err("--duration must be a positive number of seconds".into()),
+    }
+}
+
+fn parse_seed(flags: &Flags, default: &str) -> Result<u64, String> {
+    flags
+        .value("--seed")
+        .unwrap_or(default)
+        .parse::<u64>()
+        .map_err(|_| "--seed must be an unsigned integer".into())
+}
+
+fn parse_policy(flags: &Flags) -> Result<Policy, String> {
+    match flags.value("--policy").unwrap_or("boost") {
+        "fixed" => Ok(Policy::FixedMax),
+        "naive" => Ok(Policy::NaiveMatch),
+        "section" => Ok(Policy::SectionOnly),
+        "boost" => Ok(Policy::SectionWithBoost),
+        other => Err(format!(
+            "unknown policy {other:?}; expected fixed, naive, section or boost"
+        )),
+    }
+}
+
+fn cmd_catalog(args: &[String]) -> ExitCode {
+    let _ = parse_or_fail!(args, &[], &[]);
     println!(
         "{:<16} {:<8} {:>12} {:>12} {:>13} {:>13}",
         "app", "class", "idle req", "idle content", "active req", "active content"
@@ -93,7 +200,8 @@ fn cmd_catalog() -> ExitCode {
 }
 
 fn cmd_table(args: &[String]) -> ExitCode {
-    let device = match flag_value(args, "--device").unwrap_or("s3") {
+    let flags = parse_or_fail!(args, &["--device"], &[]);
+    let device = match flags.value("--device").unwrap_or("s3") {
         "s3" => DeviceProfile::galaxy_s3(),
         "ltpo" => DeviceProfile::ltpo_120(),
         "tablet" => DeviceProfile::tablet_90(),
@@ -108,25 +216,44 @@ fn cmd_table(args: &[String]) -> ExitCode {
 }
 
 fn cmd_sweep(args: &[String], full_report: bool) -> ExitCode {
-    let duration = match flag_value(args, "--duration").unwrap_or("60").parse::<u64>() {
-        Ok(secs) if secs > 0 => SimDuration::from_secs(secs),
-        _ => {
-            eprintln!("--duration must be a positive number of seconds");
+    let flags = parse_or_fail!(
+        args,
+        &["--duration", "--seed", "--jobs", "--obs"],
+        &[]
+    );
+    let duration = match parse_duration(&flags, "60") {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
-    let seed = match flag_value(args, "--seed").unwrap_or("9").parse::<u64>() {
-        Ok(seed) => seed,
-        Err(_) => {
-            eprintln!("--seed must be an unsigned integer");
+    let seed = match parse_seed(&flags, "9") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
     // 0 = all available cores; 1 = the exact legacy serial path.
-    let jobs = match flag_value(args, "--jobs").unwrap_or("0").parse::<usize>() {
+    let jobs = match flags.value("--jobs").unwrap_or("0").parse::<usize>() {
         Ok(jobs) => jobs,
         Err(_) => {
             eprintln!("--jobs must be an unsigned integer (0 = all cores)");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Reports include the telemetry-metrics summary by default; plain
+    // sweeps stay terse.
+    let with_obs = match flags.value("--obs").unwrap_or(if full_report {
+        "summary"
+    } else {
+        "none"
+    }) {
+        "summary" => true,
+        "none" => false,
+        other => {
+            eprintln!("unknown --obs mode {other:?}; expected summary or none");
             return ExitCode::FAILURE;
         }
     };
@@ -137,10 +264,11 @@ fn cmd_sweep(args: &[String], full_report: bool) -> ExitCode {
         quarter_resolution: true,
         jobs,
     };
-    eprintln!(
+    progress!(
         "running the 30-app sweep (3 policies × 30 apps, {} s per run)…",
         duration.as_secs_f64()
     );
+    let before = metrics().snapshot();
     let (s, timing) = sweep::run_timed(&config);
     if full_report {
         println!("{}\n", s.fig9());
@@ -148,12 +276,89 @@ fn cmd_sweep(args: &[String], full_report: bool) -> ExitCode {
         println!("{}\n", s.fig11());
     }
     println!("{}", s.table1_text());
-    eprintln!("\n{timing}");
+    if with_obs {
+        let delta = metrics().snapshot().delta_since(&before);
+        let runs = s.apps.len() * 3;
+        println!("\ntelemetry metrics ({runs} runs)");
+        println!("{}", obs_summary(&delta, Some(runs)));
+    }
+    progress!("\n{timing}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let flags = parse_or_fail!(
+        args,
+        &["--out", "--app", "--policy", "--duration", "--seed"],
+        &["--full-res"]
+    );
+    let Some(out) = flags.value("--out") else {
+        eprintln!("trace requires --out <file.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let app_name = flags.value("--app").unwrap_or("facebook");
+    let Some(spec) = catalog::by_name(app_name) else {
+        eprintln!("unknown app {app_name:?}; run `ccdem catalog` for the list");
+        return ExitCode::FAILURE;
+    };
+    let (policy, duration, seed) = match (
+        parse_policy(&flags),
+        parse_duration(&flags, "30"),
+        parse_seed(&flags, "49374"),
+    ) {
+        (Ok(p), Ok(d), Ok(s)) => (p, d, s),
+        (p, d, s) => {
+            for e in [p.err(), d.err().map(|e| e.to_string()), s.err()].into_iter().flatten() {
+                eprintln!("{e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let sink = match JsonlSink::create(out) {
+        Ok(sink) => Arc::new(sink),
+        Err(e) => {
+            eprintln!("failed to create {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let obs = Obs::to_sink(sink.clone());
+
+    let mut scenario = Scenario::new(Workload::App(spec), policy)
+        .with_duration(duration)
+        .with_seed(seed)
+        .with_obs(obs.clone());
+    if !flags.switch("--full-res") {
+        scenario = scenario.at_quarter_resolution();
+    }
+
+    progress!("tracing {app_name:?} under {policy} for {duration} → {out}…");
+    let before = metrics().snapshot();
+    let result = scenario.run();
+    obs.flush();
+    let delta = metrics().snapshot().delta_since(&before);
+
+    println!("app                 {}", result.app_name);
+    println!("policy              {policy}");
+    println!("average power       {:.1} mW", result.avg_power_mw);
+    println!(
+        "average refresh     {:.1} Hz ({} switches)",
+        result.avg_refresh_hz, result.refresh_switches
+    );
+    println!("display quality     {:.1}%", result.quality_pct());
+    println!("\ntelemetry metrics (1 run)");
+    println!("{}", obs_summary(&delta, Some(1)));
+    progress!("wrote {} JSONL events to {out}", sink.lines_written());
     ExitCode::SUCCESS
 }
 
 fn cmd_simulate(args: &[String]) -> ExitCode {
-    let Some(app_name) = flag_value(args, "--app") else {
+    let flags = parse_or_fail!(
+        args,
+        &["--app", "--policy", "--duration", "--seed", "--csv"],
+        &["--full-res"]
+    );
+    let Some(app_name) = flags.value("--app") else {
         eprintln!("simulate requires --app <name>; run `ccdem catalog` for the list");
         return ExitCode::FAILURE;
     };
@@ -161,27 +366,24 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
         eprintln!("unknown app {app_name:?}; run `ccdem catalog` for the list");
         return ExitCode::FAILURE;
     };
-    let policy = match flag_value(args, "--policy").unwrap_or("boost") {
-        "fixed" => Policy::FixedMax,
-        "naive" => Policy::NaiveMatch,
-        "section" => Policy::SectionOnly,
-        "boost" => Policy::SectionWithBoost,
-        other => {
-            eprintln!("unknown policy {other:?}; expected fixed, naive, section or boost");
+    let policy = match parse_policy(&flags) {
+        Ok(policy) => policy,
+        Err(e) => {
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
-    let duration = match flag_value(args, "--duration").unwrap_or("60").parse::<u64>() {
-        Ok(secs) if secs > 0 => SimDuration::from_secs(secs),
-        _ => {
-            eprintln!("--duration must be a positive number of seconds");
+    let duration = match parse_duration(&flags, "60") {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
-    let seed = match flag_value(args, "--seed").unwrap_or("49374").parse::<u64>() {
-        Ok(seed) => seed,
-        Err(_) => {
-            eprintln!("--seed must be an unsigned integer");
+    let seed = match parse_seed(&flags, "49374") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
@@ -189,11 +391,11 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
     let mut scenario = Scenario::new(Workload::App(spec), policy)
         .with_duration(duration)
         .with_seed(seed);
-    if !args.iter().any(|a| a == "--full-res") {
+    if !flags.switch("--full-res") {
         scenario = scenario.at_quarter_resolution();
     }
 
-    eprintln!("simulating {app_name:?} under {policy} for {duration}…");
+    progress!("simulating {app_name:?} under {policy} for {duration}…");
     let (governed, baseline) = scenario.run_with_baseline();
 
     let saved = baseline.avg_power_mw - governed.avg_power_mw;
@@ -228,14 +430,14 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
         gained.as_secs_f64() / 60.0
     );
 
-    if let Some(path) = flag_value(args, "--csv") {
+    if let Some(path) = flags.value("--csv") {
         match std::fs::File::create(path) {
             Ok(file) => {
                 if let Err(e) = write_timeseries_csv(&governed, file) {
                     eprintln!("failed to write {path}: {e}");
                     return ExitCode::FAILURE;
                 }
-                eprintln!("wrote per-second time series to {path}");
+                progress!("wrote per-second time series to {path}");
             }
             Err(e) => {
                 eprintln!("failed to create {path}: {e}");

@@ -19,6 +19,7 @@
 //! | [`workloads`] | the 30-app catalog, wallpapers, Monkey scripts |
 //! | [`power`] | calibrated Galaxy S3 power model and Monsoon-like meter |
 //! | [`metrics`] | display quality, dropped frames, Table 1 aggregates |
+//! | [`obs`] | structured tracing, metrics registry, JSONL telemetry export |
 //! | [`experiments`] | scenario runner and every paper figure/table |
 //!
 //! # Quickstart
@@ -51,6 +52,7 @@ pub use ccdem_compositor as compositor;
 pub use ccdem_core as core;
 pub use ccdem_experiments as experiments;
 pub use ccdem_metrics as metrics;
+pub use ccdem_obs as obs;
 pub use ccdem_panel as panel;
 pub use ccdem_pixelbuf as pixelbuf;
 pub use ccdem_power as power;
