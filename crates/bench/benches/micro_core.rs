@@ -24,7 +24,9 @@ fn bench_meter_observe(c: &mut Criterion) {
     let res = Resolution::GALAXY_S3;
     let mut group = c.benchmark_group("core/meter_observe");
 
-    // Redundant frame: full grid scan, the common steady-state case.
+    // Redundant frame, fast path: the content generation is unchanged,
+    // so classification is O(1) with zero pixel reads — the common
+    // steady-state case on idle apps.
     group.bench_function("redundant_9k", |b| {
         let mut meter = ContentRateMeter::new(GridSampler::for_pixel_budget(res, 9_216));
         let fb = FrameBuffer::new(res);
@@ -32,6 +34,37 @@ fn bench_meter_observe(c: &mut Criterion) {
         b.iter(|| {
             t += 16_667;
             meter.observe(&fb, SimTime::from_micros(t))
+        });
+    });
+
+    // The same redundant frame through the pre-PR pipeline: a full
+    // compare pass plus a full capture pass (2 × 9 216 reads).
+    group.bench_function("redundant_9k_naive", |b| {
+        let mut meter = ContentRateMeter::new(GridSampler::for_pixel_budget(res, 9_216));
+        meter.set_naive(true);
+        let fb = FrameBuffer::new(res);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 16_667;
+            meter.observe(&fb, SimTime::from_micros(t))
+        });
+    });
+
+    // A small damaged region: the gather is restricted to the grid
+    // points the damage intersects.
+    group.bench_function("small_damage_9k", |b| {
+        use ccdem_pixelbuf::geometry::Rect;
+        let mut meter = ContentRateMeter::new(GridSampler::for_pixel_budget(res, 9_216));
+        let mut fb = FrameBuffer::new(res);
+        let patch = Rect::new(res.width / 2, res.height / 2, 90, 40);
+        let mut t = 0u64;
+        let mut grey = 0u8;
+        b.iter(|| {
+            t += 16_667;
+            grey = grey.wrapping_add(1);
+            fb.fill_rect(patch, Pixel::grey(grey));
+            let damage = fb.take_damage();
+            meter.observe_damaged(&fb, &damage, SimTime::from_micros(t))
         });
     });
 
@@ -135,12 +168,10 @@ fn bench_frame_budget_check(c: &mut Criterion) {
     let res = Resolution::GALAXY_S3;
     let sampler = GridSampler::for_pixel_budget(res, 36_864);
     let fb = FrameBuffer::new(res);
-    let snapshot = sampler.sample(&fb);
-    let mut scratch = snapshot.clone();
+    let mut scratch = sampler.sample(&fb);
     c.bench_function("core/full_meter_step_36k", |b| {
         b.iter(|| {
-            let d = sampler.differs(&fb, &snapshot);
-            sampler.sample_into(&fb, &mut scratch);
+            let d = sampler.compare_and_capture(&fb, &mut scratch).differs;
             let _ = SimDuration::from_hz(60); // the budget being beaten
             d
         });

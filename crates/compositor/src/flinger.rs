@@ -10,6 +10,7 @@
 use std::fmt;
 
 use ccdem_pixelbuf::buffer::FrameBuffer;
+use ccdem_pixelbuf::damage::DamageRegion;
 use ccdem_pixelbuf::geometry::Resolution;
 use ccdem_simkit::time::SimTime;
 
@@ -42,6 +43,12 @@ pub enum ComposeOutcome {
         content_changed: bool,
         /// How many submissions were coalesced into this frame.
         coalesced: usize,
+        /// The framebuffer damage this composition produced — every pixel
+        /// the compose wrote, taken from the framebuffer so the region
+        /// always means "changed since the previous compose". Empty for
+        /// redundant frames. The content-rate meter uses it to restrict
+        /// its grid comparison to the pixels that could have changed.
+        damage: DamageRegion,
     },
 }
 
@@ -77,6 +84,10 @@ pub struct SurfaceFlinger {
     pending: usize,
     pending_content: bool,
     stats: FrameStats,
+    /// The surface-list layout stamp observed at the last full recompose;
+    /// `None` until the first compose.
+    composed_layout: Option<(usize, u64)>,
+    naive_compose: bool,
 }
 
 impl SurfaceFlinger {
@@ -90,7 +101,17 @@ impl SurfaceFlinger {
             pending: 0,
             pending_content: false,
             stats: FrameStats::new(),
+            composed_layout: None,
+            naive_compose: false,
         }
+    }
+
+    /// Forces every composition to recompose the full screen, disabling
+    /// the damage-limited incremental path. The pixel output is identical
+    /// either way; this exists so equivalence tests and benchmarks can run
+    /// the pre-optimisation reference behaviour.
+    pub fn set_naive_compose(&mut self, naive: bool) {
+        self.naive_compose = naive;
     }
 
     /// The screen resolution.
@@ -177,6 +198,7 @@ impl SurfaceFlinger {
         ComposeOutcome::Composed {
             content_changed,
             coalesced,
+            damage: self.framebuffer.take_damage(),
         }
     }
 
@@ -203,34 +225,88 @@ impl SurfaceFlinger {
             .filter(|&i| self.surfaces[i].is_visible())
             .collect();
         order.sort_by_key(|&i| (self.surfaces[i].z_order(), i));
-        let mut first = true;
-        for i in order {
-            let surface = &self.surfaces[i];
-            let bounds = surface.bounds();
-            if surface.is_opaque() {
-                if bounds == self.resolution.bounds() {
-                    self.framebuffer.copy_from(surface.buffer());
-                } else {
-                    self.framebuffer.copy_rect_from(surface.buffer(), bounds);
+
+        let stamp = (
+            self.surfaces.len(),
+            self.surfaces
+                .iter()
+                .map(Surface::layout_generation)
+                .sum::<u64>(),
+        );
+        let full = self.naive_compose
+            || self.composed_layout != Some(stamp)
+            || !self.composition_is_pure(&order);
+        self.composed_layout = Some(stamp);
+
+        // Decide which screen region to recompose. While the layout is
+        // stable and composition is a pure function of surface contents,
+        // only the pixels the apps drew since the last compose can come
+        // out different, so recomposing the z-stack restricted to that
+        // accumulated damage reproduces the full recompose bit for bit.
+        let region = if full {
+            for s in &mut self.surfaces {
+                s.buffer_mut().take_damage();
+            }
+            DamageRegion::of(self.resolution.bounds())
+        } else {
+            let mut region = DamageRegion::new();
+            for s in &mut self.surfaces {
+                let visible = s.is_visible();
+                let bounds = s.bounds();
+                let damage = s.buffer_mut().take_damage();
+                if !visible {
+                    continue;
                 }
-            } else {
-                // Alpha-blend only within the surface's bounds.
-                let src = surface.buffer().as_pixels().to_vec();
-                let w = self.resolution.width as usize;
-                for y in bounds.y..bounds.bottom() {
-                    for x in bounds.x..bounds.right() {
-                        let s = src[(y as usize) * w + x as usize];
-                        let d = self.framebuffer.pixel(x, y);
-                        self.framebuffer.set_pixel(x, y, s.over(d));
+                for &r in damage.rects() {
+                    if let Some(on_screen) = r.intersection(bounds) {
+                        region.add(on_screen);
                     }
                 }
             }
-            first = false;
-        }
-        if first {
-            // No visible surfaces: the write still happens.
+            region
+        };
+
+        if order.is_empty() || region.is_empty() {
+            // No visible surfaces, or none of them drew anything new
+            // on-screen: the hardware write still happens, with pixels
+            // identical to the previous frame.
             self.framebuffer.touch();
+            return;
         }
+        for i in order {
+            let surface = &self.surfaces[i];
+            let bounds = surface.bounds();
+            for &rect in region.rects() {
+                let Some(r) = rect.intersection(bounds) else {
+                    continue;
+                };
+                if surface.is_opaque() {
+                    if r == self.resolution.bounds() {
+                        self.framebuffer.copy_from(surface.buffer());
+                    } else {
+                        self.framebuffer.copy_rect_from(surface.buffer(), r);
+                    }
+                } else {
+                    self.framebuffer.blend_rect_from(surface.buffer(), r);
+                }
+            }
+        }
+    }
+
+    /// Whether composing `order` (visible surfaces, ascending z) yields a
+    /// framebuffer that depends only on surface contents, never on the
+    /// previous framebuffer. True when every surface copies (opaque), or
+    /// when the bottom layer is an opaque full-screen surface that every
+    /// blend chain starts from. When false, translucent surfaces blend
+    /// over leftover framebuffer state, so each compose feeds back on the
+    /// last and only a full recompose is correct.
+    fn composition_is_pure(&self, order: &[usize]) -> bool {
+        let Some(&base) = order.first() else {
+            return true;
+        };
+        let base = &self.surfaces[base];
+        (base.is_opaque() && base.bounds() == self.resolution.bounds())
+            || order.iter().all(|&i| self.surfaces[i].is_opaque())
     }
 }
 
@@ -264,9 +340,11 @@ mod tests {
             ComposeOutcome::Composed {
                 content_changed,
                 coalesced,
+                damage,
             } => {
                 assert!(!content_changed);
                 assert_eq!(coalesced, 3);
+                assert!(damage.is_empty(), "redundant frame carries no damage");
             }
             other => panic!("expected compose, got {other:?}"),
         }
@@ -349,6 +427,106 @@ mod tests {
         // Bar covers the top two rows only.
         assert_eq!(sf.framebuffer().pixel(4, 1), Pixel::WHITE);
         assert_eq!(sf.framebuffer().pixel(4, 2), Pixel::grey(50));
+    }
+
+    #[test]
+    fn composed_damage_covers_drawn_region() {
+        use ccdem_pixelbuf::geometry::Rect;
+        let (mut sf, id) = flinger();
+        // Prime: first compose is always a full recompose.
+        sf.surface_mut(id).unwrap().buffer_mut().fill(Pixel::grey(10));
+        sf.submit(id, SimTime::from_millis(1), true).unwrap();
+        match sf.compose(SimTime::from_millis(16)) {
+            ComposeOutcome::Composed { damage, .. } => {
+                assert_eq!(damage.bounding(), Rect::new(0, 0, 4, 4));
+            }
+            other => panic!("expected compose, got {other:?}"),
+        }
+        // Steady state: a small draw produces small damage.
+        let drawn = Rect::new(1, 1, 2, 2);
+        sf.surface_mut(id)
+            .unwrap()
+            .buffer_mut()
+            .fill_rect(drawn, Pixel::WHITE);
+        sf.submit(id, SimTime::from_millis(20), true).unwrap();
+        match sf.compose(SimTime::from_millis(33)) {
+            ComposeOutcome::Composed { damage, .. } => {
+                assert_eq!(damage.bounding(), drawn);
+            }
+            other => panic!("expected compose, got {other:?}"),
+        }
+        assert_eq!(sf.framebuffer().pixel(2, 2), Pixel::WHITE);
+        assert_eq!(sf.framebuffer().pixel(0, 0), Pixel::grey(10));
+    }
+
+    #[test]
+    fn incremental_compose_matches_full_recompose() {
+        use ccdem_pixelbuf::geometry::Rect;
+        let res = Resolution::new(16, 16);
+        let mut fast = SurfaceFlinger::new(res);
+        let mut naive = SurfaceFlinger::new(res);
+        naive.set_naive_compose(true);
+        for sf in [&mut fast, &mut naive] {
+            let app = sf.create_surface("app");
+            let bar = sf.create_surface("bar");
+            sf.surface_mut(app).unwrap().buffer_mut().fill(Pixel::grey(30));
+            let s = sf.surface_mut(bar).unwrap();
+            s.set_z_order(1);
+            s.set_bounds(Rect::new(0, 0, 16, 2));
+            s.set_opaque(false);
+            s.buffer_mut().fill(Pixel::rgba(255, 255, 255, 96));
+        }
+
+        let steps: [(usize, Rect, Pixel); 4] = [
+            (0, Rect::new(2, 4, 5, 5), Pixel::WHITE),
+            (0, Rect::new(0, 0, 16, 1), Pixel::grey(200)), // under the bar
+            (1, Rect::new(3, 0, 4, 2), Pixel::rgba(0, 255, 0, 128)),
+            (0, Rect::new(10, 10, 3, 3), Pixel::grey(99)),
+        ];
+        for (n, (surface, rect, colour)) in steps.iter().enumerate() {
+            for sf in [&mut fast, &mut naive] {
+                let id = SurfaceId::new(*surface);
+                sf.surface_mut(id).unwrap().buffer_mut().fill_rect(*rect, *colour);
+                sf.submit(id, SimTime::from_millis(n as u64 * 16), true).unwrap();
+                sf.compose(SimTime::from_millis(n as u64 * 16 + 8));
+            }
+            assert_eq!(
+                fast.framebuffer().as_pixels(),
+                naive.framebuffer().as_pixels(),
+                "framebuffers diverged at step {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn layout_change_forces_full_recompose() {
+        use ccdem_pixelbuf::geometry::Rect;
+        let res = Resolution::new(8, 8);
+        let mut sf = SurfaceFlinger::new(res);
+        let app = sf.create_surface("app");
+        let pip = sf.create_surface("pip");
+        sf.surface_mut(app).unwrap().buffer_mut().fill(Pixel::grey(20));
+        {
+            let s = sf.surface_mut(pip).unwrap();
+            s.set_z_order(1);
+            s.set_bounds(Rect::new(0, 0, 4, 4));
+            s.buffer_mut().fill(Pixel::WHITE);
+        }
+        sf.submit(app, SimTime::from_millis(1), true).unwrap();
+        sf.compose(SimTime::from_millis(8));
+        assert_eq!(sf.framebuffer().pixel(1, 1), Pixel::WHITE);
+
+        // Hiding the overlay must repaint its old pixels from the app
+        // surface even though nobody drew anything new.
+        sf.surface_mut(pip).unwrap().set_visible(false);
+        sf.submit(app, SimTime::from_millis(20), true).unwrap();
+        match sf.compose(SimTime::from_millis(24)) {
+            ComposeOutcome::Composed { damage, .. } => {
+                assert_eq!(damage.bounding(), res.bounds());
+            }
+            other => panic!("expected compose, got {other:?}"),
+        }
+        assert_eq!(sf.framebuffer().pixel(1, 1), Pixel::grey(20));
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub struct Surface {
     z_order: i32,
     visible: bool,
     opaque: bool,
+    layout_generation: u64,
 }
 
 impl Surface {
@@ -64,6 +65,7 @@ impl Surface {
             z_order: 0,
             visible: true,
             opaque: true,
+            layout_generation: 0,
         }
     }
 
@@ -104,6 +106,7 @@ impl Surface {
             .clipped_to(self.buffer.resolution())
             .expect("surface bounds must intersect the screen");
         self.bounds = clipped;
+        self.layout_generation += 1;
     }
 
     /// Composition order; higher z composes on top.
@@ -114,6 +117,7 @@ impl Surface {
     /// Sets the composition order.
     pub fn set_z_order(&mut self, z: i32) {
         self.z_order = z;
+        self.layout_generation += 1;
     }
 
     /// Whether the surface participates in composition.
@@ -124,6 +128,7 @@ impl Surface {
     /// Shows or hides the surface.
     pub fn set_visible(&mut self, visible: bool) {
         self.visible = visible;
+        self.layout_generation += 1;
     }
 
     /// Whether composition may copy instead of alpha-blend this surface.
@@ -134,6 +139,16 @@ impl Surface {
     /// Marks the surface as translucent (alpha-blended) or opaque.
     pub fn set_opaque(&mut self, opaque: bool) {
         self.opaque = opaque;
+        self.layout_generation += 1;
+    }
+
+    /// Counts bounds/z-order/visibility/opacity changes. The compositor
+    /// compares the sum across surfaces between composes: while it is
+    /// stable, composition restricted to the surfaces' accumulated damage
+    /// produces the same framebuffer as a full recompose, so the
+    /// compositor may take the incremental path.
+    pub fn layout_generation(&self) -> u64 {
+        self.layout_generation
     }
 }
 

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use ccdem_obs::{AtomicHistogram, Counter, Obs};
 use ccdem_pixelbuf::buffer::FrameBuffer;
+use ccdem_pixelbuf::damage::DamageRegion;
 use ccdem_pixelbuf::geometry::Resolution;
 use ccdem_pixelbuf::grid::GridSampler;
 use ccdem_panel::refresh::{RefreshRate, RefreshRateSet};
@@ -92,6 +93,7 @@ pub struct GovernorConfig {
     smoothing_alpha: f64,
     down_dwell: u32,
     meter_retention: Option<SimDuration>,
+    naive_metering: bool,
 }
 
 impl GovernorConfig {
@@ -113,6 +115,7 @@ impl GovernorConfig {
             smoothing_alpha: 1.0,
             down_dwell: 1,
             meter_retention: None,
+            naive_metering: false,
         }
     }
 
@@ -215,9 +218,24 @@ impl GovernorConfig {
         self.boost_hold
     }
 
+    /// Runs the meter on the naive pre-optimisation path (full compare
+    /// plus a second full gather, every frame), ignoring content
+    /// generations and damage. Classifications and decisions are
+    /// identical to the default fast paths; this exists for equivalence
+    /// tests and benchmark baselines. See [`ContentRateMeter::set_naive`].
+    pub fn with_naive_metering(mut self, naive: bool) -> GovernorConfig {
+        self.naive_metering = naive;
+        self
+    }
+
     /// The meter's timestamp-retention horizon (`None` = keep all).
     pub fn meter_retention(&self) -> Option<SimDuration> {
         self.meter_retention
+    }
+
+    /// Whether the meter runs the naive reference path.
+    pub fn naive_metering(&self) -> bool {
+        self.naive_metering
     }
 
     /// The EWMA newest-sample weight (`1.0` = no smoothing).
@@ -315,6 +333,7 @@ impl Governor {
             meter: {
                 let mut meter = ContentRateMeter::new(sampler);
                 meter.set_retention(config.meter_retention());
+                meter.set_naive(config.naive_metering());
                 meter
             },
             filter: EwmaFilter::new(config.smoothing_alpha()),
@@ -364,6 +383,21 @@ impl Governor {
     /// Call this after every composition, with the composed framebuffer.
     pub fn on_framebuffer_update(&mut self, framebuffer: &FrameBuffer, now: SimTime) -> FrameClass {
         self.meter.observe(framebuffer, now)
+    }
+
+    /// Feeds one framebuffer update into the meter together with the
+    /// [`DamageRegion`] this composition produced (the compositor hands
+    /// it out per composed frame), letting the meter restrict its grid
+    /// comparison to the pixels that could have changed. Classification
+    /// is identical to
+    /// [`on_framebuffer_update`](Self::on_framebuffer_update).
+    pub fn on_framebuffer_update_damaged(
+        &mut self,
+        framebuffer: &FrameBuffer,
+        damage: &DamageRegion,
+        now: SimTime,
+    ) -> FrameClass {
+        self.meter.observe_damaged(framebuffer, damage, now)
     }
 
     /// Registers a touch event. Under [`Policy::SectionWithBoost`] this

@@ -157,6 +157,7 @@ pub fn issue(config: &CertificateConfig) -> Certificate {
         seed: config.seed,
         quarter_resolution: true,
         jobs: 0,
+        naive_metering: false,
     });
     let mean_saved = |class: AppClass| {
         let members = s.class(class);

@@ -12,6 +12,7 @@
 //! | [`fig7`] | Fig. 7 — content/refresh-rate traces under control |
 //! | [`fig8`] | Fig. 8 — saved-power traces (Facebook, Jelly Splash) |
 //! | [`sweep`] | Figs. 9–11 and Table 1 — the 30-app × policy sweep |
+//! | [`perf`] | the PR 3 fast-path benchmark (`BENCH_PR3.json`) |
 //! | [`ablation`] | design-knob sweeps beyond the paper |
 //! | [`generalize`] | the section table on 90/120 Hz rate ladders |
 //! | [`certificate`] | all headline claims, re-derived and checked mechanically |
@@ -30,6 +31,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod generalize;
+pub mod perf;
 pub mod scenario;
 pub mod sweep;
 

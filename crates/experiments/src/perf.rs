@@ -1,0 +1,457 @@
+//! PR 3 performance baseline — the damage-aware metering fast path.
+//!
+//! Benchmarks the per-frame metering cost at the paper's five pixel
+//! budgets (Fig. 6's x-axis) across the frame shapes the fast path
+//! distinguishes:
+//!
+//! * **redundant** — the compositor re-composed identical content
+//!   (`touch`-only); the fused meter classifies in O(1) without reading
+//!   a single pixel;
+//! * **small_damage** — a status-bar-sized rectangle changed; the meter
+//!   gathers only grid points inside the damage region;
+//! * **full_change** — every pixel changed; one fused gather over the
+//!   whole grid (still half the reads of the old compare-then-capture);
+//! * **naive_redundant** — the pre-fast-path reference on the redundant
+//!   frame: a full compare pass plus a full capture pass.
+//!
+//! Timings use the host clock and vary run to run; the
+//! `points_read_per_frame` figures are exact and deterministic, so the
+//! headline claim — a ≥2× reduction in pixels read per redundant frame —
+//! is checked from the counters, not the clock. [`validate`] re-parses a
+//! written report and enforces that claim, which is how CI keeps the
+//! committed `BENCH_PR3.json` honest.
+
+use std::fmt;
+use std::time::Instant;
+
+use ccdem_core::meter::{ContentRateMeter, FrameClass};
+use ccdem_metrics::table::TextTable;
+use ccdem_obs::json::{self, Json};
+use ccdem_pixelbuf::buffer::FrameBuffer;
+use ccdem_pixelbuf::geometry::{Rect, Resolution};
+use ccdem_pixelbuf::grid::GridSampler;
+use ccdem_pixelbuf::pixel::Pixel;
+use ccdem_simkit::time::{SimDuration, SimTime};
+
+use crate::fig6::PAPER_BUDGETS;
+use crate::sweep::{self, SweepConfig};
+
+/// The benchmark's frame shapes, in report order.
+pub const CASES: [&str; 4] = ["redundant", "small_damage", "full_change", "naive_redundant"];
+
+/// Configuration for the PR 3 benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerfConfig {
+    /// Frames timed per (budget, case).
+    pub frames: u32,
+    /// Simulated seconds of end-to-end sweep to wall-clock; `0` skips
+    /// the sweep entirely (CI smoke mode).
+    pub sweep_secs: u64,
+    /// Root seed for the sweep portion.
+    pub seed: u64,
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        PerfConfig {
+            frames: 200,
+            sweep_secs: 30,
+            seed: 9,
+        }
+    }
+}
+
+impl PerfConfig {
+    /// A configuration small enough for a CI smoke step: few frames, no
+    /// sweep. The points-read columns are identical to a full run;
+    /// only the timing columns get noisier.
+    pub fn quick() -> PerfConfig {
+        PerfConfig {
+            frames: 10,
+            sweep_secs: 0,
+            seed: 9,
+        }
+    }
+}
+
+/// One (budget, case) measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaseResult {
+    /// Mean metering cost per frame. (ns)
+    pub ns_per_frame: f64,
+    /// Exact grid points gathered per frame (deterministic).
+    pub points_read_per_frame: f64,
+}
+
+/// One pixel budget's measurements across all cases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetResult {
+    /// Sampled pixels per full comparison.
+    pub pixels: usize,
+    /// Grid dimensions used.
+    pub grid: (u32, u32),
+    /// Results in [`CASES`] order.
+    pub cases: [CaseResult; 4],
+}
+
+impl BudgetResult {
+    /// The result for a named case.
+    pub fn case(&self, name: &str) -> Option<&CaseResult> {
+        CASES
+            .iter()
+            .position(|&c| c == name)
+            .map(|i| &self.cases[i])
+    }
+}
+
+/// The full benchmark report, serializable as `BENCH_PR3.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Frames timed per case.
+    pub frames: u32,
+    /// One entry per paper budget, ascending.
+    pub budgets: Vec<BudgetResult>,
+    /// Wall-clock seconds of the end-to-end sweep, if one ran, paired
+    /// with its simulated duration in seconds.
+    pub sweep: Option<(u64, f64)>,
+}
+
+/// Runs the benchmark at full Galaxy S3 resolution.
+pub fn run(config: &PerfConfig) -> PerfReport {
+    let resolution = Resolution::GALAXY_S3;
+    let budgets = PAPER_BUDGETS
+        .iter()
+        .map(|&budget| run_budget(config, resolution, budget))
+        .collect();
+    let sweep = (config.sweep_secs > 0).then(|| {
+        let started = Instant::now();
+        sweep::run(&SweepConfig {
+            duration: SimDuration::from_secs(config.sweep_secs),
+            seed: config.seed,
+            quarter_resolution: true,
+            jobs: 0,
+            naive_metering: false,
+        });
+        (config.sweep_secs, started.elapsed().as_secs_f64())
+    });
+    PerfReport {
+        frames: config.frames,
+        budgets,
+        sweep,
+    }
+}
+
+fn run_budget(config: &PerfConfig, resolution: Resolution, budget: usize) -> BudgetResult {
+    let sampler = GridSampler::for_pixel_budget(resolution, budget);
+    let grid = (sampler.cols(), sampler.rows());
+    let pixels = sampler.sample_count();
+    let frames = config.frames.max(1);
+
+    // A small change the size of a status-bar clock, placed mid-screen
+    // so it always covers at least one grid point.
+    let patch = Rect::new(
+        resolution.width / 2,
+        resolution.height / 2,
+        (resolution.width / 8).max(1),
+        (resolution.height / 32).max(1),
+    );
+
+    let redundant = bench_case(&sampler, resolution, frames, false, |fb, _| {
+        fb.touch();
+        FrameClass::Redundant
+    });
+    let small_damage = bench_case(&sampler, resolution, frames, false, |fb, i| {
+        fb.fill_rect(patch, Pixel::grey((i % 200) as u8));
+        FrameClass::Meaningful
+    });
+    let full_change = bench_case(&sampler, resolution, frames, false, |fb, i| {
+        fb.fill(Pixel::grey((i % 200) as u8));
+        FrameClass::Meaningful
+    });
+    let naive_redundant = bench_case(&sampler, resolution, frames, true, |fb, _| {
+        fb.touch();
+        FrameClass::Redundant
+    });
+
+    BudgetResult {
+        pixels,
+        grid,
+        cases: [redundant, small_damage, full_change, naive_redundant],
+    }
+}
+
+/// Times `frames` metering steps. Each frame: `mutate` the framebuffer
+/// (untimed — app rendering is not metering cost), then observe through
+/// the damage-aware path (or the naive double-gather when `naive`).
+/// Returns mean ns/frame and the meter's own exact points-read count.
+fn bench_case(
+    sampler: &GridSampler,
+    resolution: Resolution,
+    frames: u32,
+    naive: bool,
+    mut mutate: impl FnMut(&mut FrameBuffer, u32) -> FrameClass,
+) -> CaseResult {
+    let mut fb = FrameBuffer::new(resolution);
+    let mut meter = ContentRateMeter::new(sampler.clone());
+    meter.set_naive(naive);
+    // Prime outside the timed region so the first-frame full capture
+    // does not pollute the steady-state numbers.
+    fb.fill(Pixel::grey(10));
+    fb.take_damage();
+    meter.observe(&fb, SimTime::ZERO);
+
+    let read_before = meter.points_read();
+    let mut elapsed_ns = 0u128;
+    for i in 0..frames {
+        let expected = mutate(&mut fb, i);
+        let damage = fb.take_damage();
+        let now = SimTime::from_micros(u64::from(i + 1) * 16_667);
+        let started = Instant::now();
+        let class = if naive {
+            meter.observe(&fb, now)
+        } else {
+            meter.observe_damaged(&fb, &damage, now)
+        };
+        elapsed_ns += started.elapsed().as_nanos();
+        assert_eq!(class, expected, "benchmark frame misclassified");
+    }
+    CaseResult {
+        ns_per_frame: elapsed_ns as f64 / f64::from(frames),
+        points_read_per_frame: (meter.points_read() - read_before) as f64 / f64::from(frames),
+    }
+}
+
+impl PerfReport {
+    /// Serializes the report as the `BENCH_PR3.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n  \"bench\": \"ccdem-pr3-metering-fast-path\",\n");
+        out.push_str(&format!("  \"frames_per_case\": {},\n", self.frames));
+        out.push_str("  \"budgets\": [\n");
+        for (bi, b) in self.budgets.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"pixels\": {}, \"grid\": \"{}x{}\", \"cases\": {{",
+                b.pixels, b.grid.0, b.grid.1
+            ));
+            for (ci, name) in CASES.iter().enumerate() {
+                let c = &b.cases[ci];
+                out.push_str(&format!(
+                    "{}\"{}\": {{\"ns_per_frame\": {:.1}, \"points_read_per_frame\": {:.1}}}",
+                    if ci > 0 { ", " } else { "" },
+                    name,
+                    c.ns_per_frame,
+                    c.points_read_per_frame
+                ));
+            }
+            out.push_str("}}");
+            out.push_str(if bi + 1 < self.budgets.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n");
+        match self.sweep {
+            Some((sim_secs, wall_secs)) => out.push_str(&format!(
+                "  \"sweep\": {{\"sim_secs\": {sim_secs}, \"wall_secs\": {wall_secs:.2}}}\n"
+            )),
+            None => out.push_str("  \"sweep\": null\n"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for PerfReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "PR 3 metering fast path: cost per frame by shape ({} frames per case)",
+            self.frames
+        )?;
+        let mut t = TextTable::new([
+            "pixels",
+            "redundant (ns / px)",
+            "small damage (ns / px)",
+            "full change (ns / px)",
+            "naive redundant (ns / px)",
+        ]);
+        for b in &self.budgets {
+            let cell = |c: &CaseResult| {
+                format!("{:.0} / {:.0}", c.ns_per_frame, c.points_read_per_frame)
+            };
+            t.row([
+                format!("{}", b.pixels),
+                cell(&b.cases[0]),
+                cell(&b.cases[1]),
+                cell(&b.cases[2]),
+                cell(&b.cases[3]),
+            ]);
+        }
+        write!(f, "{t}")?;
+        if let Some((sim, wall)) = self.sweep {
+            write!(f, "\n30-app sweep ({sim} s simulated): {wall:.2} s wall clock")?;
+        }
+        Ok(())
+    }
+}
+
+/// Validates a `BENCH_PR3.json` document: well-formed JSON, all five
+/// paper budgets present with every case measured, and the PR's
+/// headline criterion — each budget's fast redundant path reads at most
+/// half the pixels of the naive redundant path.
+///
+/// # Errors
+///
+/// Returns a description of the first violation.
+pub fn validate(document: &str) -> Result<(), String> {
+    let doc = json::parse(document)?;
+    if doc.get("bench").and_then(Json::as_str) != Some("ccdem-pr3-metering-fast-path") {
+        return Err("missing or wrong \"bench\" marker".into());
+    }
+    let Some(Json::Arr(budgets)) = doc.get("budgets") else {
+        return Err("missing \"budgets\" array".into());
+    };
+    if budgets.len() != PAPER_BUDGETS.len() {
+        return Err(format!(
+            "expected {} budgets, found {}",
+            PAPER_BUDGETS.len(),
+            budgets.len()
+        ));
+    }
+    for (b, &expected_px) in budgets.iter().zip(PAPER_BUDGETS.iter()) {
+        let pixels = b
+            .get("pixels")
+            .and_then(Json::as_f64)
+            .ok_or("budget entry missing \"pixels\"")?;
+        let cases = b.get("cases").ok_or("budget entry missing \"cases\"")?;
+        let mut read = [0.0f64; 4];
+        for (i, name) in CASES.iter().enumerate() {
+            let case = cases
+                .get(name)
+                .ok_or_else(|| format!("budget {pixels}: missing case {name:?}"))?;
+            let ns = case.get("ns_per_frame").and_then(Json::as_f64);
+            let px = case.get("points_read_per_frame").and_then(Json::as_f64);
+            match (ns, px) {
+                (Some(ns), Some(px)) if ns >= 0.0 && px >= 0.0 => read[i] = px,
+                _ => {
+                    return Err(format!(
+                        "budget {pixels}: case {name:?} has malformed measurements"
+                    ))
+                }
+            }
+        }
+        let (fast, naive) = (read[0], read[3]);
+        if naive <= 0.0 {
+            return Err(format!(
+                "budget {pixels}: naive redundant path reads no pixels — measurement broken"
+            ));
+        }
+        if fast * 2.0 > naive {
+            return Err(format!(
+                "budget {pixels}: redundant frame reads {fast} pixels vs naive {naive} — \
+                 less than the required 2x reduction"
+            ));
+        }
+        // The budget column itself must be the paper's (full comparison
+        // uses the grid actually constructible at that budget, so allow
+        // the sampler's rounding below the nominal figure).
+        if pixels > expected_px as f64 {
+            return Err(format!(
+                "budget {pixels} exceeds the paper budget {expected_px}"
+            ));
+        }
+    }
+    match doc.get("sweep") {
+        Some(Json::Null) => Ok(()),
+        Some(sweep) => {
+            let wall = sweep.get("wall_secs").and_then(Json::as_f64);
+            match wall {
+                Some(w) if w > 0.0 => Ok(()),
+                _ => Err("\"sweep\" present but \"wall_secs\" malformed".into()),
+            }
+        }
+        None => Err("missing \"sweep\" member (use null when skipped)".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> PerfReport {
+        run(&PerfConfig::quick())
+    }
+
+    #[test]
+    fn covers_all_budgets_and_cases() {
+        let r = quick();
+        assert_eq!(r.budgets.len(), 5);
+        assert_eq!(r.budgets[0].pixels, 2_304);
+        assert_eq!(r.budgets[4].pixels, 921_600);
+        assert!(r.sweep.is_none());
+    }
+
+    #[test]
+    fn redundant_frames_read_zero_pixels() {
+        for b in &quick().budgets {
+            assert_eq!(b.case("redundant").unwrap().points_read_per_frame, 0.0);
+            // Naive reference pays a compare pass plus a capture pass.
+            assert_eq!(
+                b.case("naive_redundant").unwrap().points_read_per_frame,
+                2.0 * b.pixels as f64
+            );
+        }
+    }
+
+    #[test]
+    fn small_damage_reads_strict_subset() {
+        for b in &quick().budgets {
+            let damaged = b.case("small_damage").unwrap().points_read_per_frame;
+            let full = b.case("full_change").unwrap().points_read_per_frame;
+            assert!(damaged >= 1.0, "patch must cover at least one grid point");
+            assert!(
+                damaged < full,
+                "budget {}: damaged path read {damaged} of {full} points",
+                b.pixels
+            );
+            assert_eq!(full, b.pixels as f64);
+        }
+    }
+
+    #[test]
+    fn own_json_round_trips_and_validates() {
+        let r = quick();
+        let doc = r.to_json();
+        validate(&doc).expect("self-produced report must validate");
+        // And the numbers actually survive the round trip.
+        let parsed = json::parse(&doc).unwrap();
+        let budgets = match parsed.get("budgets") {
+            Some(Json::Arr(b)) => b,
+            other => panic!("bad budgets: {other:?}"),
+        };
+        assert_eq!(
+            budgets[2].get("pixels").and_then(Json::as_f64),
+            Some(9_216.0)
+        );
+    }
+
+    #[test]
+    fn validation_rejects_tampering() {
+        let good = quick().to_json();
+        assert!(validate("{not json").is_err());
+        assert!(validate("{}").is_err());
+        // Claim the fast path reads as much as the naive path: must fail
+        // the 2x criterion.
+        let bad = good.replace(
+            "\"redundant\": {\"ns_per_frame\"",
+            "\"redundant\": {\"points_read_per_frame\": 99999999, \"ns_per_frame\"",
+        );
+        assert!(validate(&bad).is_err(), "inflated fast-path reads accepted");
+        let truncated = good.replace("\"sweep\": null", "\"swoop\": null");
+        assert!(validate(&truncated).is_err(), "missing sweep accepted");
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let s = quick().to_string();
+        assert!(s.contains("921600"));
+        assert!(s.contains("naive redundant"));
+    }
+}

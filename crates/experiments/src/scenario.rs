@@ -203,6 +203,17 @@ impl Scenario {
         self
     }
 
+    /// Disables (or re-enables) every damage-aware fast path: the
+    /// compositor recomposes the full screen each frame and the meter
+    /// gathers the full grid twice per observed frame, exactly as before
+    /// the fused fast path existed. Results are bit-identical either
+    /// way; this exists so equivalence tests and benchmarks can compare
+    /// the two implementations.
+    pub fn with_naive_metering(mut self, naive: bool) -> Scenario {
+        self.governor = self.governor.with_naive_metering(naive);
+        self
+    }
+
     /// Runs the scenario to completion.
     pub fn run(&self) -> RunResult {
         Engine::new(self).run()
@@ -216,7 +227,8 @@ impl Scenario {
         baseline.governor = GovernorConfig::new(Policy::FixedMax)
             .with_control_window(self.governor.control_window())
             .with_grid_budget(self.governor.grid_budget())
-            .with_boost_hold(self.governor.boost_hold());
+            .with_boost_hold(self.governor.boost_hold())
+            .with_naive_metering(self.governor.naive_metering());
         (governed, baseline.run())
     }
 }
@@ -267,6 +279,7 @@ impl<'a> Engine<'a> {
         let meter_rng = root.fork(3);
 
         let mut flinger = SurfaceFlinger::new(resolution);
+        flinger.set_naive_compose(scenario.governor.naive_metering());
         let app = scenario.workload.instantiate(resolution, &mut app_rng);
         let surface = flinger.create_surface(app.name().to_string());
         let status_bar = scenario.status_bar.then(|| {
@@ -380,13 +393,16 @@ impl<'a> Engine<'a> {
         if let Some(rate) = self.controller.poll(edge) {
             self.vsync.set_rate(rate);
         }
-        if let ComposeOutcome::Composed { .. } = self.flinger.compose(edge) {
+        if let ComposeOutcome::Composed { damage, .. } = self.flinger.compose(edge) {
             let generation = self.flinger.framebuffer().generation();
             self.obs.emit("framebuffer.update", edge, |event| {
                 event.field("generation", generation);
             });
-            self.governor
-                .on_framebuffer_update(self.flinger.framebuffer(), edge);
+            self.governor.on_framebuffer_update_damaged(
+                self.flinger.framebuffer(),
+                &damage,
+                edge,
+            );
         }
         self.panel
             .refresh(edge, self.flinger.framebuffer().generation());

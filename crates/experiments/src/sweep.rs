@@ -46,6 +46,10 @@ pub struct SweepConfig {
     /// Worker threads; `0` = all available cores, `1` = the exact legacy
     /// serial path. Results are identical for every value.
     pub jobs: usize,
+    /// Run with every damage-aware fast path disabled (full recompose +
+    /// double-gather metering). Results are bit-identical to the fast
+    /// path; used by equivalence tests and the benchmark harness.
+    pub naive_metering: bool,
 }
 
 impl Default for SweepConfig {
@@ -55,6 +59,7 @@ impl Default for SweepConfig {
             seed: 9,
             quarter_resolution: true,
             jobs: 0,
+            naive_metering: false,
         }
     }
 }
@@ -172,6 +177,7 @@ pub fn run_timed_with_obs(config: &SweepConfig, obs: &Obs) -> (Sweep, TimingRepo
         let mut s = Scenario::new(Workload::App(spec), policy)
             .with_duration(config.duration)
             .with_seed(seed)
+            .with_naive_metering(config.naive_metering)
             .with_obs(obs.clone());
         if config.quarter_resolution {
             s = s.at_quarter_resolution();
@@ -378,6 +384,7 @@ mod tests {
                 seed: 21,
                 quarter_resolution: true,
                 jobs: 0,
+                naive_metering: false,
             })
         })
     }

@@ -18,6 +18,7 @@ fn config(jobs: usize) -> SweepConfig {
         seed: 20814,
         quarter_resolution: true,
         jobs,
+        naive_metering: false,
     }
 }
 

@@ -14,6 +14,7 @@ fn config(jobs: usize) -> SweepConfig {
         seed: 1234,
         quarter_resolution: true,
         jobs,
+        naive_metering: false,
     }
 }
 

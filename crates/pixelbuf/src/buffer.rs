@@ -1,16 +1,25 @@
 //! The software framebuffer.
 
+use crate::damage::DamageRegion;
 use crate::geometry::{Rect, Resolution};
 use crate::pixel::{Pixel, PixelFormat};
 
-/// A software framebuffer: a dense row-major grid of [`Pixel`]s with a
-/// monotonically increasing *generation* counter bumped on every write
-/// batch.
+/// A software framebuffer: a dense row-major grid of [`Pixel`]s with two
+/// monotonically increasing generation counters and a damage region.
 ///
-/// The generation is how the compositor and the content-rate meter cheaply
-/// detect "the framebuffer was updated" without watching individual pixels;
-/// the *content* comparison (did the pixels actually change?) is the
-/// meter's job.
+/// The *write generation* bumps on every write batch, including
+/// [`touch`](Self::touch) (a hardware write of identical pixels — the
+/// paper's redundant frame). The *content generation* bumps only when a
+/// draw op may actually have changed pixel values; those ops also record
+/// the written rectangle in the buffer's [`DamageRegion`]. The two
+/// counters let consumers distinguish "the framebuffer was updated" (the
+/// panel's view) from "the pixels may have changed" (the content-rate
+/// meter's view) without reading any pixels, and the damage region tells
+/// the meter *where* to look when they did.
+///
+/// The damage region accumulates until [`take_damage`](Self::take_damage)
+/// is called; a pixel outside every accumulated rect is guaranteed to
+/// hold the same value it had at the last take.
 ///
 /// # Examples
 ///
@@ -22,6 +31,11 @@ use crate::pixel::{Pixel, PixelFormat};
 /// let mut fb = FrameBuffer::new(Resolution::new(4, 4));
 /// fb.fill(Pixel::WHITE);
 /// assert_eq!(fb.pixel(2, 3), Pixel::WHITE);
+/// assert_eq!(fb.content_generation(), 1);
+///
+/// fb.touch(); // identical resubmission: a write, but not new content
+/// assert_eq!(fb.generation(), 2);
+/// assert_eq!(fb.content_generation(), 1);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct FrameBuffer {
@@ -29,6 +43,8 @@ pub struct FrameBuffer {
     format: PixelFormat,
     pixels: Vec<Pixel>,
     generation: u64,
+    content_generation: u64,
+    damage: DamageRegion,
 }
 
 impl FrameBuffer {
@@ -44,6 +60,8 @@ impl FrameBuffer {
             format,
             pixels: vec![Pixel::BLACK; resolution.pixel_count()],
             generation: 0,
+            content_generation: 0,
+            damage: DamageRegion::new(),
         }
     }
 
@@ -62,10 +80,34 @@ impl FrameBuffer {
         self.generation
     }
 
+    /// The content-generation counter: bumps only when a draw op may have
+    /// changed pixel values. Unchanged content generation between two
+    /// observations guarantees the pixels are bit-identical — the
+    /// content-rate meter's O(1) redundant-frame fast path.
+    pub fn content_generation(&self) -> u64 {
+        self.content_generation
+    }
+
+    /// The damage accumulated since the last
+    /// [`take_damage`](Self::take_damage): a sound over-approximation of
+    /// every pixel written in between.
+    pub fn damage(&self) -> &DamageRegion {
+        &self.damage
+    }
+
+    /// Consumes the accumulated damage, resetting it to empty. The
+    /// content-rate meter (via the compositor) calls this once per
+    /// composed frame, so the region always describes "what changed since
+    /// the meter last looked".
+    pub fn take_damage(&mut self) -> DamageRegion {
+        self.damage.take()
+    }
+
     /// Marks the buffer as updated without changing pixels. The compositor
     /// calls this when an application submits a frame whose content is
     /// identical to the previous one (a *redundant frame*): the hardware
-    /// still performs a framebuffer write.
+    /// still performs a framebuffer write. Bumps only the write
+    /// generation, never the content generation.
     pub fn touch(&mut self) {
         self.generation += 1;
     }
@@ -102,14 +144,14 @@ impl FrameBuffer {
         );
         let i = self.index(x, y);
         self.pixels[i] = self.format.quantize(p);
-        self.generation += 1;
+        self.mark(Rect::new(x, y, 1, 1));
     }
 
     /// Fills the whole buffer with one colour.
     pub fn fill(&mut self, p: Pixel) {
         let q = self.format.quantize(p);
         self.pixels.fill(q);
-        self.generation += 1;
+        self.mark(self.resolution.bounds());
     }
 
     /// Fills `rect` (clipped to the screen) with one colour. A fully
@@ -117,13 +159,14 @@ impl FrameBuffer {
     /// hardware behaviour where the draw call is issued regardless.
     pub fn fill_rect(&mut self, rect: Rect, p: Pixel) {
         let q = self.format.quantize(p);
-        if let Some(r) = rect.clipped_to(self.resolution) {
+        let clipped = rect.clipped_to(self.resolution);
+        if let Some(r) = clipped {
             for y in r.y..r.bottom() {
                 let row = self.index(r.x, y);
                 self.pixels[row..row + r.width as usize].fill(q);
             }
         }
-        self.generation += 1;
+        self.mark(clipped.unwrap_or_default());
     }
 
     /// Copies the entirety of `src` into this buffer.
@@ -143,7 +186,7 @@ impl FrameBuffer {
                 *dst = self.format.quantize(s);
             }
         }
-        self.generation += 1;
+        self.mark(self.resolution.bounds());
     }
 
     /// Copies `rect` (clipped) from `src` into the same position here.
@@ -156,7 +199,8 @@ impl FrameBuffer {
             self.resolution, src.resolution,
             "copy_rect_from requires matching resolutions"
         );
-        if let Some(r) = rect.clipped_to(self.resolution) {
+        let clipped = rect.clipped_to(self.resolution);
+        if let Some(r) = clipped {
             for y in r.y..r.bottom() {
                 let i = self.index(r.x, y);
                 let w = r.width as usize;
@@ -170,7 +214,35 @@ impl FrameBuffer {
                 }
             }
         }
-        self.generation += 1;
+        self.mark(clipped.unwrap_or_default());
+    }
+
+    /// Alpha-blends `rect` (clipped) of `src` over the same position here,
+    /// quantizing the blend result to this buffer's format. This is the
+    /// compositor's translucent-surface path, expressed as one batch op so
+    /// it costs a single generation bump and one damage rect instead of a
+    /// per-pixel [`set_pixel`](Self::set_pixel) storm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if resolutions differ.
+    pub fn blend_rect_from(&mut self, src: &FrameBuffer, rect: Rect) {
+        assert_eq!(
+            self.resolution, src.resolution,
+            "blend_rect_from requires matching resolutions"
+        );
+        let clipped = rect.clipped_to(self.resolution);
+        if let Some(r) = clipped {
+            for y in r.y..r.bottom() {
+                let i = self.index(r.x, y);
+                for dx in 0..r.width as usize {
+                    let s = src.pixels[i + dx];
+                    let d = self.pixels[i + dx];
+                    self.pixels[i + dx] = self.format.quantize(s.over(d));
+                }
+            }
+        }
+        self.mark(clipped.unwrap_or_default());
     }
 
     /// Shifts the buffer contents up by `dy` pixels (a scroll), filling the
@@ -186,7 +258,11 @@ impl FrameBuffer {
         let q = self.format.quantize(fill);
         let start = ((h - dy) as usize) * w;
         self.pixels[start..].fill(q);
-        self.generation += 1;
+        self.mark(if dy > 0 {
+            self.resolution.bounds()
+        } else {
+            Rect::default()
+        });
     }
 
     /// A read-only view of all pixels in row-major order.
@@ -207,6 +283,19 @@ impl FrameBuffer {
 
     fn index(&self, x: u32, y: u32) -> usize {
         (y as usize) * (self.resolution.width as usize) + x as usize
+    }
+
+    /// Records one completed write batch: the write generation always
+    /// bumps (the hardware write happened), while the content generation
+    /// and damage only advance when pixels may actually have changed —
+    /// i.e. when the written region is non-empty. A fully clipped-out
+    /// draw call therefore counts as a write but not as content.
+    fn mark(&mut self, written: Rect) {
+        self.generation += 1;
+        if !written.is_empty() {
+            self.content_generation += 1;
+            self.damage.add(written);
+        }
     }
 }
 
@@ -287,6 +376,85 @@ mod tests {
     fn pixel_oob_panics() {
         let fb = FrameBuffer::new(Resolution::new(2, 2));
         let _ = fb.pixel(2, 0);
+    }
+
+    #[test]
+    fn touch_bumps_write_generation_only() {
+        let mut fb = FrameBuffer::new(Resolution::new(4, 4));
+        fb.fill(Pixel::WHITE);
+        assert_eq!((fb.generation(), fb.content_generation()), (1, 1));
+        fb.touch();
+        fb.touch();
+        assert_eq!((fb.generation(), fb.content_generation()), (3, 1));
+    }
+
+    #[test]
+    fn clipped_out_draw_is_a_write_but_not_content() {
+        let mut fb = FrameBuffer::new(Resolution::new(4, 4));
+        fb.fill_rect(Rect::new(10, 10, 3, 3), Pixel::WHITE);
+        assert_eq!(fb.generation(), 1);
+        assert_eq!(fb.content_generation(), 0);
+        assert!(fb.damage().is_empty());
+    }
+
+    #[test]
+    fn draw_ops_accumulate_damage_until_taken() {
+        let mut fb = FrameBuffer::new(Resolution::new(8, 8));
+        fb.set_pixel(1, 1, Pixel::WHITE);
+        fb.fill_rect(Rect::new(4, 4, 2, 2), Pixel::WHITE);
+        let damage = fb.take_damage();
+        assert_eq!(damage.area(), 5);
+        assert!(damage.contains(1, 1));
+        assert!(damage.contains(5, 5));
+        assert!(!damage.contains(2, 2));
+        assert!(fb.damage().is_empty());
+        // Taking damage does not disturb either generation.
+        assert_eq!((fb.generation(), fb.content_generation()), (2, 2));
+    }
+
+    #[test]
+    fn full_buffer_ops_damage_everything() {
+        let res = Resolution::new(4, 4);
+        let mut fb = FrameBuffer::new(res);
+        fb.fill(Pixel::WHITE);
+        assert_eq!(fb.take_damage().bounding(), res.bounds());
+        fb.scroll_up(1, Pixel::BLACK);
+        assert_eq!(fb.take_damage().bounding(), res.bounds());
+        let src = FrameBuffer::new(res);
+        fb.copy_from(&src);
+        assert_eq!(fb.take_damage().bounding(), res.bounds());
+    }
+
+    #[test]
+    fn scroll_by_zero_is_not_content() {
+        let mut fb = FrameBuffer::new(Resolution::new(2, 2));
+        fb.scroll_up(0, Pixel::WHITE);
+        assert_eq!(fb.generation(), 1);
+        assert_eq!(fb.content_generation(), 0);
+    }
+
+    #[test]
+    fn blend_rect_from_matches_per_pixel_over() {
+        let res = Resolution::new(4, 4);
+        let mut overlay = FrameBuffer::new(res);
+        overlay.fill(Pixel::rgba(255, 255, 255, 128));
+        let mut dst = FrameBuffer::new(res);
+        dst.fill(Pixel::BLACK);
+        dst.take_damage();
+
+        let mut reference = dst.clone();
+        let rect = Rect::new(1, 1, 2, 2);
+        for y in rect.y..rect.bottom() {
+            for x in rect.x..rect.right() {
+                let s = overlay.pixel(x, y);
+                let d = reference.pixel(x, y);
+                reference.set_pixel(x, y, s.over(d));
+            }
+        }
+
+        dst.blend_rect_from(&overlay, rect);
+        assert_eq!(dst.as_pixels(), reference.as_pixels());
+        assert_eq!(dst.take_damage().bounding(), rect);
     }
 
     #[test]

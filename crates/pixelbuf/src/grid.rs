@@ -9,18 +9,25 @@
 //! pixels.
 
 use crate::buffer::FrameBuffer;
+use crate::damage::DamageRegion;
 use crate::geometry::Resolution;
 use crate::pixel::Pixel;
 
-/// Outcome of one grid comparison: the verdict plus the number of grid
-/// points inspected before [`GridSampler::compare`] stopped.
+/// Outcome of one grid comparison: the verdict plus how much work it took.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GridCompare {
     /// Whether any inspected grid point changed.
     pub differs: bool,
-    /// Grid points actually read before the early exit (equals
-    /// [`GridSampler::sample_count`] when nothing differed).
+    /// Grid points compared against the snapshot before the early exit
+    /// (equals the number of candidate points when nothing differed).
     pub points_compared: usize,
+    /// Grid points whose framebuffer pixel was actually read, comparisons
+    /// and snapshot refreshes combined. This is the per-frame gather cost:
+    /// [`GridSampler::compare`] reads each compared point once, the fused
+    /// [`GridSampler::compare_and_capture`] reads every grid point exactly
+    /// once, and the damage-restricted variant reads only the points
+    /// inside the damage region.
+    pub points_read: usize,
 }
 
 /// Precomputed sample positions for grid-based comparison.
@@ -49,6 +56,10 @@ pub struct GridSampler {
     cols: u32,
     rows: u32,
     indices: Vec<usize>,
+    /// Sample x-coordinate of each grid column, strictly increasing.
+    col_xs: Vec<u32>,
+    /// Sample y-coordinate of each grid row, strictly increasing.
+    row_ys: Vec<u32>,
 }
 
 impl GridSampler {
@@ -65,12 +76,18 @@ impl GridSampler {
             "grid {cols}x{rows} exceeds resolution {resolution}"
         );
         let w = resolution.width as usize;
+        // Centre of each cell, in pixel coordinates. Both axes are
+        // strictly increasing (the cell pitch is at least one pixel), so
+        // damage rectangles map to grid index ranges by binary search.
+        let col_xs: Vec<u32> = (0..cols)
+            .map(|gx| ((2 * gx + 1) * resolution.width) / (2 * cols))
+            .collect();
+        let row_ys: Vec<u32> = (0..rows)
+            .map(|gy| ((2 * gy + 1) * resolution.height) / (2 * rows))
+            .collect();
         let mut indices = Vec::with_capacity((cols as usize) * (rows as usize));
-        for gy in 0..rows {
-            // Centre of the cell, in pixel coordinates.
-            let y = ((2 * gy + 1) * resolution.height) / (2 * rows);
-            for gx in 0..cols {
-                let x = ((2 * gx + 1) * resolution.width) / (2 * cols);
+        for &y in &row_ys {
+            for &x in &col_xs {
                 indices.push((y as usize) * w + x as usize);
             }
         }
@@ -79,6 +96,8 @@ impl GridSampler {
             cols,
             rows,
             indices,
+            col_xs,
+            row_ys,
         }
     }
 
@@ -157,11 +176,7 @@ impl GridSampler {
     ///
     /// Panics if the buffer resolution does not match the sampler's.
     pub fn sample_into(&self, buffer: &FrameBuffer, out: &mut Vec<Pixel>) {
-        assert_eq!(
-            buffer.resolution(),
-            self.resolution,
-            "buffer resolution does not match sampler"
-        );
+        self.check_buffer(buffer);
         let pixels = buffer.as_pixels();
         out.resize(self.indices.len(), Pixel::TRANSPARENT);
         for (dst, &i) in out.iter_mut().zip(&self.indices) {
@@ -216,43 +231,120 @@ impl GridSampler {
     /// assert_eq!(changed.points_compared, 1); // first point already differs
     /// ```
     pub fn compare(&self, buffer: &FrameBuffer, previous: &[Pixel]) -> GridCompare {
-        assert_eq!(
-            buffer.resolution(),
-            self.resolution,
-            "buffer resolution does not match sampler"
-        );
-        assert_eq!(
-            previous.len(),
-            self.indices.len(),
-            "previous sample has wrong length"
-        );
+        self.check_snapshot(buffer, previous);
         let pixels = buffer.as_pixels();
         for (n, (&i, &prev)) in self.indices.iter().zip(previous).enumerate() {
             if pixels[i] != prev {
                 return GridCompare {
                     differs: true,
                     points_compared: n + 1,
+                    points_read: n + 1,
                 };
             }
         }
         GridCompare {
             differs: false,
             points_compared: self.indices.len(),
+            points_read: self.indices.len(),
+        }
+    }
+
+    /// Compares the current buffer against `snapshot` and refreshes the
+    /// snapshot to the current content, in a single gather: each grid
+    /// point is read exactly once, where a separate
+    /// [`compare`](Self::compare) + [`sample_into`](Self::sample_into)
+    /// pair reads redundant frames twice. The verdict is identical to
+    /// `compare` and the refreshed snapshot is identical to
+    /// `sample_into`'s output.
+    ///
+    /// Comparisons stop at the first difference (`points_compared`
+    /// early-exits like `compare`), but every point is still read to keep
+    /// the snapshot current, so `points_read` always equals
+    /// [`sample_count`](Self::sample_count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if resolutions mismatch or `snapshot` has the wrong length
+    /// (prime it first with [`sample_into`](Self::sample_into)).
+    pub fn compare_and_capture(
+        &self,
+        buffer: &FrameBuffer,
+        snapshot: &mut [Pixel],
+    ) -> GridCompare {
+        self.check_snapshot(buffer, snapshot);
+        let pixels = buffer.as_pixels();
+        let mut differs = false;
+        let mut points_compared = 0;
+        for (slot, &i) in snapshot.iter_mut().zip(&self.indices) {
+            let current = pixels[i];
+            if !differs {
+                points_compared += 1;
+                differs = current != *slot;
+            }
+            *slot = current;
+        }
+        GridCompare {
+            differs,
+            points_compared,
+            points_read: self.indices.len(),
+        }
+    }
+
+    /// Damage-restricted [`compare_and_capture`](Self::compare_and_capture):
+    /// inspects and refreshes only the grid points whose sample position
+    /// lies inside `damage`, reading nothing else.
+    ///
+    /// **Soundness contract:** `damage` must cover every pixel of `buffer`
+    /// written since `snapshot` was last captured (the guarantee
+    /// [`FrameBuffer::take_damage`] provides). Points outside the damage
+    /// are then unchanged, so skipping them cannot alter the verdict and
+    /// the snapshot remains current everywhere. Per damage rectangle the
+    /// intersecting grid rows/columns are found by binary search, so the
+    /// cost is O(points inside the damage), not O(grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if resolutions mismatch or `snapshot` has the wrong length.
+    pub fn compare_and_capture_damaged(
+        &self,
+        buffer: &FrameBuffer,
+        damage: &DamageRegion,
+        snapshot: &mut [Pixel],
+    ) -> GridCompare {
+        self.check_snapshot(buffer, snapshot);
+        let pixels = buffer.as_pixels();
+        let mut differs = false;
+        let mut points_compared = 0;
+        let mut points_read = 0;
+        // Damage rects are disjoint and both coordinate axes are strictly
+        // increasing, so each grid point is visited at most once.
+        for rect in damage.rects() {
+            let (gx0, gx1) = Self::axis_range(&self.col_xs, rect.x, rect.right());
+            let (gy0, gy1) = Self::axis_range(&self.row_ys, rect.y, rect.bottom());
+            for gy in gy0..gy1 {
+                let base = gy * self.cols as usize;
+                for gx in gx0..gx1 {
+                    let n = base + gx;
+                    let current = pixels[self.indices[n]];
+                    points_read += 1;
+                    if !differs {
+                        points_compared += 1;
+                        differs = current != snapshot[n];
+                    }
+                    snapshot[n] = current;
+                }
+            }
+        }
+        GridCompare {
+            differs,
+            points_compared,
+            points_read,
         }
     }
 
     /// Number of grid points whose pixel differs from the captured sample.
     pub fn changed_points(&self, buffer: &FrameBuffer, previous: &[Pixel]) -> usize {
-        assert_eq!(
-            buffer.resolution(),
-            self.resolution,
-            "buffer resolution does not match sampler"
-        );
-        assert_eq!(
-            previous.len(),
-            self.indices.len(),
-            "previous sample has wrong length"
-        );
+        self.check_snapshot(buffer, previous);
         let pixels = buffer.as_pixels();
         self.indices
             .iter()
@@ -261,13 +353,38 @@ impl GridSampler {
             .count()
     }
 
-    /// The `(x, y)` screen position of each sample point.
-    pub fn positions(&self) -> Vec<(u32, u32)> {
+    /// The `(x, y)` screen position of each sample point, in grid order,
+    /// without allocating.
+    pub fn positions(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         let w = self.resolution.width as usize;
         self.indices
             .iter()
-            .map(|&i| ((i % w) as u32, (i / w) as u32))
-            .collect()
+            .map(move |&i| ((i % w) as u32, (i / w) as u32))
+    }
+
+    /// The half-open range of grid indices whose sample coordinate lies in
+    /// `[lo, hi)`, on one strictly increasing axis.
+    fn axis_range(coords: &[u32], lo: u32, hi: u32) -> (usize, usize) {
+        let start = coords.partition_point(|&c| c < lo);
+        let end = coords.partition_point(|&c| c < hi);
+        (start, end)
+    }
+
+    fn check_buffer(&self, buffer: &FrameBuffer) {
+        assert_eq!(
+            buffer.resolution(),
+            self.resolution,
+            "buffer resolution does not match sampler"
+        );
+    }
+
+    fn check_snapshot(&self, buffer: &FrameBuffer, snapshot: &[Pixel]) {
+        self.check_buffer(buffer);
+        assert_eq!(
+            snapshot.len(),
+            self.indices.len(),
+            "previous sample has wrong length"
+        );
     }
 }
 
@@ -312,7 +429,8 @@ mod tests {
             assert!(res.contains(x, y));
         }
         // First cell centre of a 10-col grid over 100px is pixel 5.
-        assert_eq!(g.positions()[0], (5, 5));
+        assert_eq!(g.positions().next(), Some((5, 5)));
+        assert_eq!(g.positions().count(), g.sample_count());
     }
 
     #[test]
@@ -365,6 +483,111 @@ mod tests {
         let ptr = buf.as_ptr();
         g.sample_into(&fb, &mut buf);
         assert_eq!(buf.as_ptr(), ptr, "no reallocation expected");
+    }
+
+    #[test]
+    fn fused_capture_matches_compare_then_sample() {
+        let res = Resolution::new(100, 100);
+        let g = GridSampler::new(res, 10, 10);
+        let mut fb = FrameBuffer::new(res);
+        let mut fused = g.sample(&fb);
+        let mut naive = fused.clone();
+
+        for step in 0..4 {
+            match step {
+                0 => fb.fill_rect(Rect::new(20, 20, 30, 30), Pixel::WHITE),
+                1 => fb.touch(),
+                2 => fb.fill(Pixel::grey(40)),
+                _ => fb.set_pixel(25, 25, Pixel::WHITE),
+            }
+            let expected = g.compare(&fb, &naive);
+            g.sample_into(&fb, &mut naive);
+            let got = g.compare_and_capture(&fb, &mut fused);
+            assert_eq!(got.differs, expected.differs, "step {step}");
+            assert_eq!(got.points_compared, expected.points_compared, "step {step}");
+            assert_eq!(got.points_read, g.sample_count());
+            assert_eq!(fused, naive, "snapshots diverged at step {step}");
+        }
+    }
+
+    #[test]
+    fn damaged_capture_reads_only_damaged_points() {
+        let res = Resolution::new(100, 100);
+        let g = GridSampler::new(res, 10, 10); // samples at 5, 15, …, 95
+        let mut fb = FrameBuffer::new(res);
+        let mut snap = g.sample(&fb);
+
+        // A 20×20 write covers exactly a 2×2 block of sample points.
+        fb.fill_rect(Rect::new(10, 10, 20, 20), Pixel::WHITE);
+        let damage = fb.take_damage();
+        let r = g.compare_and_capture_damaged(&fb, &damage, &mut snap);
+        assert!(r.differs);
+        assert_eq!(r.points_read, 4);
+        assert!(r.points_compared <= 4);
+        assert_eq!(snap, g.sample(&fb), "snapshot must stay current");
+    }
+
+    #[test]
+    fn damaged_capture_between_sample_points_reads_nothing() {
+        let res = Resolution::new(100, 100);
+        let g = GridSampler::new(res, 10, 10);
+        let mut fb = FrameBuffer::new(res);
+        let mut snap = g.sample(&fb);
+
+        // Damage that dodges every sample point: x in [6, 14), y in [6, 14).
+        fb.fill_rect(Rect::new(6, 6, 8, 8), Pixel::WHITE);
+        let damage = fb.take_damage();
+        let r = g.compare_and_capture_damaged(&fb, &damage, &mut snap);
+        assert!(!r.differs, "sub-cell change is invisible to the grid");
+        assert_eq!(r.points_read, 0);
+        // The full comparison agrees: no sampled point changed.
+        assert!(!g.differs(&fb, &snap));
+    }
+
+    #[test]
+    fn damaged_capture_with_empty_damage_is_free() {
+        let res = Resolution::QUARTER;
+        let g = GridSampler::for_pixel_budget(res, 500);
+        let mut fb = FrameBuffer::new(res);
+        let mut snap = g.sample(&fb);
+        fb.touch();
+        let r = g.compare_and_capture_damaged(&fb, &DamageRegion::new(), &mut snap);
+        assert_eq!(
+            r,
+            GridCompare {
+                differs: false,
+                points_compared: 0,
+                points_read: 0
+            }
+        );
+    }
+
+    #[test]
+    fn damaged_capture_matches_full_capture_on_multiple_rects() {
+        use crate::damage::DamageRegion;
+        let res = Resolution::new(64, 64);
+        let g = GridSampler::new(res, 8, 8);
+        let mut fb_a = FrameBuffer::new(res);
+        let mut fb_b = FrameBuffer::new(res);
+        let mut snap_full = g.sample(&fb_a);
+        let mut snap_damaged = snap_full.clone();
+
+        let rects = [
+            Rect::new(0, 0, 12, 12),
+            Rect::new(30, 30, 9, 9),
+            Rect::new(50, 2, 10, 60),
+        ];
+        let mut damage = DamageRegion::new();
+        for r in rects {
+            fb_a.fill_rect(r, Pixel::WHITE);
+            fb_b.fill_rect(r, Pixel::WHITE);
+            damage.add(r);
+        }
+        let full = g.compare_and_capture(&fb_a, &mut snap_full);
+        let restricted = g.compare_and_capture_damaged(&fb_b, &damage, &mut snap_damaged);
+        assert_eq!(full.differs, restricted.differs);
+        assert!(restricted.points_read < g.sample_count());
+        assert_eq!(snap_full, snap_damaged);
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //!
 //! * [`pixel`] — RGBA pixels and pixel formats.
 //! * [`geometry`] — resolutions and rectangles.
-//! * [`buffer`] — the software framebuffer with a write-generation counter.
+//! * [`buffer`] — the software framebuffer with write- and
+//!   content-generation counters.
+//! * [`damage`] — damage regions: which pixels the draw ops may have
+//!   changed, consumed by the meter's damage-restricted fast path.
 //! * [`double_buffer`] — the snapshot pair used by content-rate metering
 //!   (paper §3.1, "double buffering").
 //! * [`grid`] — grid-based sparse comparison (paper §3.1, "grid-based
@@ -39,6 +42,7 @@
 //! ```
 
 pub mod buffer;
+pub mod damage;
 pub mod diff;
 pub mod double_buffer;
 pub mod draw;
@@ -48,6 +52,7 @@ pub mod pixel;
 pub mod ppm;
 
 pub use buffer::FrameBuffer;
+pub use damage::DamageRegion;
 pub use double_buffer::DoubleBuffer;
 pub use geometry::{Rect, Resolution};
 pub use grid::GridSampler;

@@ -12,6 +12,40 @@ fn arb_rect() -> impl Strategy<Value = Rect> {
     (0u32..150, 0u32..150, 0u32..150, 0u32..150).prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
 }
 
+/// One arbitrary framebuffer mutation, for exercising the damage
+/// accounting across every draw entry point.
+#[derive(Debug, Clone, Copy)]
+enum DrawOp {
+    Touch,
+    Fill(u8),
+    FillRect(Rect, u8),
+    SetPixel(u32, u32, u8),
+    Scroll(u32, u8),
+}
+
+fn arb_draw_op() -> impl Strategy<Value = DrawOp> {
+    prop_oneof![
+        Just(DrawOp::Touch),
+        any::<u8>().prop_map(DrawOp::Fill),
+        (arb_rect(), any::<u8>()).prop_map(|(r, g)| DrawOp::FillRect(r, g)),
+        (0u32..64, 0u32..64, any::<u8>()).prop_map(|(x, y, g)| DrawOp::SetPixel(x, y, g)),
+        (0u32..70, any::<u8>()).prop_map(|(dy, g)| DrawOp::Scroll(dy, g)),
+    ]
+}
+
+fn apply(op: DrawOp, fb: &mut FrameBuffer) {
+    match op {
+        DrawOp::Touch => fb.touch(),
+        DrawOp::Fill(g) => fb.fill(Pixel::grey(g)),
+        DrawOp::FillRect(r, g) => fb.fill_rect(r, Pixel::grey(g)),
+        DrawOp::SetPixel(x, y, g) => {
+            let res = fb.resolution();
+            fb.set_pixel(x % res.width, y % res.height, Pixel::grey(g));
+        }
+        DrawOp::Scroll(dy, g) => fb.scroll_up(dy, Pixel::grey(g)),
+    }
+}
+
 proptest! {
     /// Rect intersection is commutative and contained in both operands.
     #[test]
@@ -133,6 +167,76 @@ proptest! {
         } else if dy > 0 {
             // The bottom band is the fill colour.
             prop_assert_eq!(scrolled.pixel(0, h - 1), Pixel::grey(grey));
+        }
+    }
+
+    /// The fused gather is indistinguishable from the legacy
+    /// compare-then-capture pair over arbitrary draw sequences, and the
+    /// damage-restricted gather — fed exactly the framebuffer's own
+    /// accumulated damage — agrees while never reading more points.
+    #[test]
+    fn fused_and_damaged_gathers_match_two_pass(
+        w in 8u32..64,
+        h in 8u32..64,
+        budget in 16usize..1_200,
+        ops in proptest::collection::vec(arb_draw_op(), 1..40),
+    ) {
+        let res = Resolution::new(w, h);
+        let g = GridSampler::for_pixel_budget(res, budget);
+        let mut fb = FrameBuffer::new(res);
+        let mut fused_snap = g.sample(&fb);
+        let mut damaged_snap = fused_snap.clone();
+        fb.take_damage();
+        for op in ops {
+            apply(op, &mut fb);
+            let damage = fb.take_damage();
+
+            // Legacy reference: compare against the old snapshot, then
+            // capture a fresh one (two full passes).
+            let expected_differs = g.differs(&fb, &fused_snap);
+            let mut reference = fused_snap.clone();
+            g.sample_into(&fb, &mut reference);
+
+            let fused = g.compare_and_capture(&fb, &mut fused_snap);
+            prop_assert_eq!(fused.differs, expected_differs);
+            prop_assert_eq!(&fused_snap, &reference);
+            prop_assert_eq!(fused.points_read, g.sample_count());
+
+            let restricted = g.compare_and_capture_damaged(&fb, &damage, &mut damaged_snap);
+            prop_assert_eq!(restricted.differs, expected_differs);
+            prop_assert_eq!(&damaged_snap, &reference);
+            prop_assert!(restricted.points_read <= fused.points_read);
+        }
+    }
+
+    /// Damage soundness: every pixel that changed lies inside the
+    /// accumulated damage region, and touch never adds damage.
+    #[test]
+    fn damage_covers_every_changed_pixel(
+        ops in proptest::collection::vec(arb_draw_op(), 1..25),
+    ) {
+        let res = Resolution::new(24, 24);
+        let mut fb = FrameBuffer::new(res);
+        fb.take_damage();
+        let before = fb.clone();
+        let mut touched_only = true;
+        for op in ops {
+            touched_only &= matches!(op, DrawOp::Touch);
+            apply(op, &mut fb);
+        }
+        if touched_only {
+            prop_assert!(fb.damage().is_empty(), "touch must never add damage");
+        }
+        let damage = fb.take_damage();
+        for y in 0..res.height {
+            for x in 0..res.width {
+                if fb.pixel(x, y) != before.pixel(x, y) {
+                    prop_assert!(
+                        damage.contains(x, y),
+                        "changed pixel ({}, {}) outside damage", x, y
+                    );
+                }
+            }
         }
     }
 

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_PR3.json — the tracked performance baseline for the
+# damage-aware metering fast path. Run from the repo root.
+#
+#   scripts/bench.sh           full run: 200 timed frames per case plus
+#                              the 30 s end-to-end sweep wall clock
+#   scripts/bench.sh --quick   CI smoke: 10 frames, no sweep; the exact
+#                              points-read columns are identical, only
+#                              the timings get noisier
+#
+# Extra arguments are passed through to `ccdem bench` (e.g.
+# `--out somewhere-else.json`, `--iterations 500`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_PR3.json
+cargo build --release -q
+cargo run --release -q --bin ccdem -- bench --out "$out" "$@"
+cargo run --release -q --bin ccdem -- bench --check "$out"

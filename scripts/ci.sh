@@ -9,5 +9,10 @@ cargo test -q
 cargo test -q --workspace
 # The trace CLI end-to-end: binary runs, JSONL parses, taxonomy holds.
 cargo test -q --test trace_jsonl
+# Bench smoke: the fast-path benchmark runs, its JSON parses, and the
+# redundant-frame pixel-read reduction holds (ccdem bench --check fails
+# on malformed or regressed output).
+cargo run --release -q --bin ccdem -- bench --quick --out target/bench_smoke.json
+cargo run --release -q --bin ccdem -- bench --check target/bench_smoke.json
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

@@ -53,6 +53,7 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..], false),
         Some("report") => cmd_sweep(&args[1..], true),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -79,7 +80,12 @@ fn print_usage() {
          sweep [--duration <secs>] [--seed <n>] [--jobs <n>] [--obs summary|none]\n                                \
          run the 30-app sweep; print Table 1 + timing\n  \
          report [--duration <secs>] [--seed <n>] [--jobs <n>] [--obs summary|none]\n                                \
-         print Figs. 9-11 and Table 1 from the sweep\n\n\
+         print Figs. 9-11 and Table 1 from the sweep\n  \
+         bench [--out <file.json>] [--iterations <n>] [--quick] [--no-sweep]\n        \
+         [--check <file.json>]\n                                \
+         measure the metering fast path at the paper's five pixel\n                                \
+         budgets and write BENCH_PR3.json; --check validates an\n                                \
+         existing report instead of measuring\n\n\
          every command accepts --quiet/-q to silence progress output\n\n\
          see also: cargo run --release --example paper_report -- all"
     );
@@ -263,6 +269,7 @@ fn cmd_sweep(args: &[String], full_report: bool) -> ExitCode {
         seed,
         quarter_resolution: true,
         jobs,
+        naive_metering: false,
     };
     progress!(
         "running the 30-app sweep (3 policies × 30 apps, {} s per run)…",
@@ -283,6 +290,78 @@ fn cmd_sweep(args: &[String], full_report: bool) -> ExitCode {
         println!("{}", obs_summary(&delta, Some(runs)));
     }
     progress!("\n{timing}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let flags = parse_or_fail!(
+        args,
+        &["--out", "--iterations", "--check"],
+        &["--quick", "--no-sweep"]
+    );
+
+    // --check validates an existing report instead of measuring.
+    if let Some(path) = flags.value("--check") {
+        let document = match std::fs::read_to_string(path) {
+            Ok(document) => document,
+            Err(e) => {
+                eprintln!("failed to read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match ccdem::experiments::perf::validate(&document) {
+            Ok(()) => {
+                println!("{path}: valid PR 3 benchmark report");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let mut config = if flags.switch("--quick") {
+        ccdem::experiments::perf::PerfConfig::quick()
+    } else {
+        ccdem::experiments::perf::PerfConfig::default()
+    };
+    if let Some(value) = flags.value("--iterations") {
+        match value.parse::<u32>() {
+            Ok(frames) if frames > 0 => config.frames = frames,
+            _ => {
+                eprintln!("--iterations must be a positive integer");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if flags.switch("--no-sweep") {
+        config.sweep_secs = 0;
+    }
+
+    progress!(
+        "benchmarking the metering fast path ({} frames per case{})…",
+        config.frames,
+        if config.sweep_secs > 0 {
+            ", plus the 30 s sweep"
+        } else {
+            ""
+        }
+    );
+    let report = ccdem::experiments::perf::run(&config);
+    println!("{report}");
+    if let Some(path) = flags.value("--out") {
+        let document = report.to_json();
+        if let Err(e) = ccdem::experiments::perf::validate(&document) {
+            eprintln!("internal error: generated report fails validation: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(path, document + "\n") {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        progress!("wrote {path}");
+    }
     ExitCode::SUCCESS
 }
 
