@@ -220,11 +220,15 @@ impl SurfaceFlinger {
 
     fn blit_surfaces(&mut self) {
         // Compose in ascending z-order; opaque surfaces copy, translucent
-        // ones blend.
-        let mut order: Vec<usize> = (0..self.surfaces.len())
-            .filter(|&i| self.surfaces[i].is_visible())
+        // ones blend. Ties sort by surface slot, oldest underneath.
+        let mut order: Vec<(i32, usize)> = self
+            .surfaces
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_visible())
+            .map(|(i, s)| (s.z_order(), i))
             .collect();
-        order.sort_by_key(|&i| (self.surfaces[i].z_order(), i));
+        order.sort_unstable();
 
         let stamp = (
             self.surfaces.len(),
@@ -273,8 +277,10 @@ impl SurfaceFlinger {
             self.framebuffer.touch();
             return;
         }
-        for i in order {
-            let surface = &self.surfaces[i];
+        for (_, i) in order {
+            let Some(surface) = self.surfaces.get(i) else {
+                continue;
+            };
             let bounds = surface.bounds();
             for &rect in region.rects() {
                 let Some(r) = rect.intersection(bounds) else {
@@ -300,13 +306,14 @@ impl SurfaceFlinger {
     /// blend chain starts from. When false, translucent surfaces blend
     /// over leftover framebuffer state, so each compose feeds back on the
     /// last and only a full recompose is correct.
-    fn composition_is_pure(&self, order: &[usize]) -> bool {
-        let Some(&base) = order.first() else {
+    fn composition_is_pure(&self, order: &[(i32, usize)]) -> bool {
+        let Some(base) = order.first().and_then(|&(_, i)| self.surfaces.get(i)) else {
             return true;
         };
-        let base = &self.surfaces[base];
         (base.is_opaque() && base.bounds() == self.resolution.bounds())
-            || order.iter().all(|&i| self.surfaces[i].is_opaque())
+            || order
+                .iter()
+                .all(|&(_, i)| self.surfaces.get(i).is_some_and(Surface::is_opaque))
     }
 }
 

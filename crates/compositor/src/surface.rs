@@ -104,6 +104,7 @@ impl Surface {
     pub fn set_bounds(&mut self, bounds: Rect) {
         let clipped = bounds
             .clipped_to(self.buffer.resolution())
+            // ccdem-lint: allow(panic) — documented `# Panics` contract
             .expect("surface bounds must intersect the screen");
         self.bounds = clipped;
         self.layout_generation += 1;

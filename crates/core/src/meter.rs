@@ -39,6 +39,8 @@
 //! engine, owned by the compositor.)
 
 use std::sync::Arc;
+// ccdem-lint: allow(determinism) — feeds the `meter.diff_us` host-time
+// histogram only; frame classification never reads it.
 use std::time::Instant;
 
 use ccdem_obs::{AtomicHistogram, Counter, Obs};
@@ -250,7 +252,7 @@ impl ContentRateMeter {
         now: SimTime,
     ) -> FrameClass {
         self.frames.record(now);
-        let started = Instant::now();
+        let started = Instant::now(); // ccdem-lint: allow(determinism) — telemetry only
         let grid_px = self.sampler.sample_count();
         // (class, points compared, points read, O(1) fast path taken)
         let (class, compared, read, fast) = if self.naive {
@@ -439,6 +441,7 @@ pub fn measure_metering_cost(
 ) -> std::time::Duration {
     assert!(iterations > 0, "iterations must be non-zero");
     let mut snapshot = sampler.sample(framebuffer);
+    // ccdem-lint: allow(determinism) — micro-bench helper; host time is its output
     let start = std::time::Instant::now();
     for _ in 0..iterations {
         // One full meter step: compare and re-capture, fused.

@@ -93,12 +93,8 @@ impl SectionTable {
         let slice = self.rates.as_slice();
         let mut out = Vec::with_capacity(slice.len());
         let mut lower = 0.0;
-        for (i, &r) in slice.iter().enumerate() {
-            let upper = if i + 1 < slice.len() {
-                self.thresholds[i]
-            } else {
-                r.hz_f64()
-            };
+        for (i, (&r, &theta)) in slice.iter().zip(&self.thresholds).enumerate() {
+            let upper = if i + 1 < slice.len() { theta } else { r.hz_f64() };
             out.push((lower, upper, r));
             lower = upper;
         }
@@ -109,8 +105,8 @@ impl SectionTable {
 impl RateMapper for SectionTable {
     fn rate_for(&self, content_rate: ContentRate) -> RefreshRate {
         let cr = content_rate.fps();
-        for (i, &r) in self.rates.as_slice().iter().enumerate() {
-            if cr <= self.thresholds[i] {
+        for (&r, &theta) in self.rates.as_slice().iter().zip(&self.thresholds) {
+            if cr <= theta {
                 return r;
             }
         }

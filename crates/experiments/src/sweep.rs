@@ -12,6 +12,8 @@
 //!   application class.
 
 use std::fmt;
+// ccdem-lint: allow(determinism) — wall-clock feeds TimingReport only,
+// never a RunResult (asserted by the `obs_determinism` test).
 use std::time::Instant;
 
 use ccdem_core::governor::Policy;
@@ -90,6 +92,7 @@ impl AppSweep {
             Policy::FixedMax => &self.baseline,
             Policy::SectionOnly => &self.section,
             Policy::SectionWithBoost => &self.boost,
+            // ccdem-lint: allow(panic) — documented `# Panics` contract
             other => panic!("policy {other:?} not part of the sweep"),
         }
     }
@@ -162,7 +165,7 @@ pub fn run_timed_with_obs(config: &SweepConfig, obs: &Obs) -> (Sweep, TimingRepo
         .collect();
 
     let runner = ParallelRunner::new(config.jobs);
-    let started = Instant::now();
+    let started = Instant::now(); // ccdem-lint: allow(determinism) — timing only
     obs.emit("sweep.start", ccdem_simkit::time::SimTime::ZERO, |event| {
         event
             .field("apps", items.len() / SWEEP_POLICIES.len())
@@ -173,7 +176,7 @@ pub fn run_timed_with_obs(config: &SweepConfig, obs: &Obs) -> (Sweep, TimingRepo
     span.field("runs", items.len());
     let runs = runner.run_many(items, |_, (app_index, spec, policy)| {
         let seed = derive_seed(config.seed, app_index as u64);
-        let run_started = Instant::now();
+        let run_started = Instant::now(); // ccdem-lint: allow(determinism) — timing only
         let mut s = Scenario::new(Workload::App(spec), policy)
             .with_duration(config.duration)
             .with_seed(seed)
@@ -193,9 +196,12 @@ pub fn run_timed_with_obs(config: &SweepConfig, obs: &Obs) -> (Sweep, TimingRepo
     let mut report = TimingReport::new(runner.jobs());
     let mut apps = Vec::new();
     let mut runs = runs.into_iter();
-    while let Some((baseline, t0)) = runs.next() {
-        let (section, t1) = runs.next().expect("three runs per app");
-        let (boost, t2) = runs.next().expect("three runs per app");
+    // Each app contributes exactly `SWEEP_POLICIES.len()` consecutive
+    // runs (baseline, section, boost); a partial trailing group cannot
+    // occur by construction and would be dropped rather than panic.
+    while let (Some((baseline, t0)), Some((section, t1)), Some((boost, t2))) =
+        (runs.next(), runs.next(), runs.next())
+    {
         for t in [t0, t1, t2] {
             report.push(t);
         }

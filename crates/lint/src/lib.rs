@@ -1,0 +1,315 @@
+//! `ccdem-lint` — workspace static analysis with zero dependencies.
+//!
+//! Four lint families guard invariants the compiler cannot see
+//! (DESIGN.md §10):
+//!
+//! * **determinism** — no host clocks, unscoped threads, or
+//!   randomized-order hash containers in result-affecting crates;
+//! * **panic** — no `unwrap()` / `expect(…)` / `panic!` / unchecked
+//!   indexing in library code;
+//! * **obs-taxonomy** — the emitted event/metric names and the DESIGN.md
+//!   §8 taxonomy tables agree in both directions;
+//! * **section-table** — Eq. 1 (median thresholds, headroom, 60 Hz cap)
+//!   holds for the device ladder, and the Fig. 5 doc table matches it.
+//!
+//! Everything is built on a hand-rolled Rust lexer ([`lexer`]) — no
+//! `syn`, no `proc-macro2` — because the workspace builds offline with
+//! no external crates. Findings can be suppressed per line with
+//! `// ccdem-lint: allow(<id>)` comments ([`source`]) or absorbed by the
+//! committed `lint.allow` count ratchet ([`baseline`]).
+
+pub mod baseline;
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+pub mod source;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::baseline::Baseline;
+use crate::diag::{Diagnostic, LintId};
+use crate::lints::{determinism, panic as panic_lint, section_table, taxonomy};
+use crate::source::SourceFile;
+
+/// The committed baseline file, at the workspace root.
+pub const BASELINE_FILE: &str = "lint.allow";
+/// The design document holding the §8 taxonomy tables.
+pub const DESIGN_FILE: &str = "DESIGN.md";
+
+/// How a lint run is configured.
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// Workspace root (the directory holding the `[workspace]`
+    /// `Cargo.toml`, `DESIGN.md`, and `lint.allow`).
+    pub root: PathBuf,
+    /// Rewrite `lint.allow` to match the current findings instead of
+    /// failing on them.
+    pub fix_baseline: bool,
+    /// Override for the DESIGN.md text (tests use this to prove the
+    /// taxonomy lint fires when a documented name is removed).
+    pub design_text: Option<String>,
+}
+
+impl LintOptions {
+    /// Default options rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> LintOptions {
+        LintOptions {
+            root: root.into(),
+            fix_baseline: false,
+            design_text: None,
+        }
+    }
+}
+
+/// The outcome of a lint run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Findings that fail the run, sorted by file, line, and id.
+    pub reported: Vec<Diagnostic>,
+    /// Findings absorbed by the `lint.allow` baseline.
+    pub baselined: Vec<Diagnostic>,
+    /// Findings silenced by `// ccdem-lint: allow(…)` comments.
+    pub suppressed: usize,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Whether `--fix-baseline` rewrote `lint.allow`.
+    pub baseline_rewritten: bool,
+}
+
+impl Report {
+    /// Whether the run passes.
+    pub fn clean(&self) -> bool {
+        self.reported.is_empty()
+    }
+}
+
+/// Walks upward from `start` to the nearest directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Runs every lint family over the workspace at `options.root`.
+///
+/// # Errors
+///
+/// Returns a message for configuration-level failures (unreadable root,
+/// malformed `lint.allow`, unwritable baseline under `--fix-baseline`).
+/// Per-file problems (lex errors, unreadable files) become `internal`
+/// diagnostics instead, so one bad file cannot hide the rest.
+pub fn run(options: &LintOptions) -> Result<Report, String> {
+    let root = &options.root;
+    let paths = workspace_sources(root)?;
+    let files_scanned = paths.len();
+
+    let mut files: BTreeMap<String, SourceFile> = BTreeMap::new();
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    for rel in &paths {
+        let text = match fs::read_to_string(root.join(rel)) {
+            Ok(text) => text,
+            Err(err) => {
+                diagnostics.push(Diagnostic::new(
+                    LintId::Internal,
+                    rel.clone(),
+                    0,
+                    format!("unreadable: {err}"),
+                ));
+                continue;
+            }
+        };
+        match lexer::lex(&text) {
+            Ok(lexed) => {
+                let file = SourceFile::new(rel.clone(), crate_of(rel), lexed);
+                files.insert(rel.clone(), file);
+            }
+            Err(err) => {
+                diagnostics.push(Diagnostic::new(
+                    LintId::Internal,
+                    rel.clone(),
+                    err.line,
+                    format!("lexer error: {}", err.message),
+                ));
+            }
+        }
+    }
+
+    // Per-file families, plus the taxonomy emission sweep.
+    let mut emissions = Vec::new();
+    for file in files.values() {
+        determinism::check(file, &mut diagnostics);
+        panic_lint::check(file, &mut diagnostics);
+        taxonomy::collect(file, &mut emissions);
+    }
+
+    // The taxonomy cross-check against DESIGN.md §8.
+    let design_text = match &options.design_text {
+        Some(text) => Some(text.clone()),
+        None => match fs::read_to_string(root.join(DESIGN_FILE)) {
+            Ok(text) => Some(text),
+            Err(err) => {
+                diagnostics.push(Diagnostic::new(
+                    LintId::Internal,
+                    DESIGN_FILE,
+                    0,
+                    format!("unreadable: {err}"),
+                ));
+                None
+            }
+        },
+    };
+    if let Some(design) = &design_text {
+        taxonomy::check(design, DESIGN_FILE, &emissions, &mut diagnostics);
+    }
+
+    // The section-table invariants.
+    section_table::check(
+        files.get(section_table::REFRESH_PATH),
+        files.get(section_table::SECTION_PATH),
+        &mut diagnostics,
+    );
+
+    // Line-level suppressions.
+    let before = diagnostics.len();
+    diagnostics.retain(|d| {
+        !files
+            .get(&d.file)
+            .is_some_and(|f| f.is_allowed(d.id, d.line))
+    });
+    let suppressed = before - diagnostics.len();
+
+    sort_diagnostics(&mut diagnostics);
+
+    // The baseline ratchet. `--fix-baseline` rewrites the file to the
+    // current findings (internal findings are never baselinable).
+    let baseline_path = root.join(BASELINE_FILE);
+    let mut baseline_rewritten = false;
+    let baseline = if options.fix_baseline {
+        let baselinable: Vec<Diagnostic> = diagnostics
+            .iter()
+            .filter(|d| d.id != LintId::Internal)
+            .cloned()
+            .collect();
+        let rendered = Baseline::render(&baselinable);
+        fs::write(&baseline_path, &rendered)
+            .map_err(|err| format!("cannot write {}: {err}", baseline_path.display()))?;
+        baseline_rewritten = true;
+        Baseline::parse(&rendered).map_err(|err| err.to_string())?
+    } else {
+        match fs::read_to_string(&baseline_path) {
+            Ok(text) => Baseline::parse(&text).map_err(|err| err.to_string())?,
+            Err(_) => Baseline::default(),
+        }
+    };
+    let (mut reported, baselined) = baseline.apply(diagnostics);
+    sort_diagnostics(&mut reported);
+
+    Ok(Report {
+        reported,
+        baselined,
+        suppressed,
+        files_scanned,
+        baseline_rewritten,
+    })
+}
+
+fn sort_diagnostics(diagnostics: &mut [Diagnostic]) {
+    diagnostics.sort_by(|a, b| {
+        (&a.file, a.line, a.id, &a.message).cmp(&(&b.file, b.line, b.id, &b.message))
+    });
+}
+
+/// The crate a repo-relative path belongs to: the directory name under
+/// `crates/`, or `ccdem` for the root package's `src/`.
+fn crate_of(rel: &str) -> String {
+    rel.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("ccdem")
+        .to_string()
+}
+
+/// Every `.rs` file under `crates/*/src/` and `src/`, repo-relative with
+/// forward slashes, sorted. Test directories (`tests/`, `benches/`) are
+/// not scanned: the lints only govern library code, and integration
+/// tests assert on fixture files that deliberately violate them.
+fn workspace_sources(root: &Path) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = match fs::read_dir(&crates_dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect(),
+        Err(err) => return Err(format!("cannot read {}: {err}", crates_dir.display())),
+    };
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rs(&dir.join("src"), root, &mut out);
+    }
+    collect_rs(&root.join("src"), root, &mut out);
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs(&path, root, out);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_of_maps_paths() {
+        assert_eq!(crate_of("crates/core/src/meter.rs"), "core");
+        assert_eq!(crate_of("src/bin/ccdem.rs"), "ccdem");
+        assert_eq!(crate_of("src/lib.rs"), "ccdem");
+    }
+
+    #[test]
+    fn find_root_walks_up() {
+        // The crate's own manifest does not declare a workspace; the
+        // repo root's does.
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("Cargo.toml").exists());
+        assert_ne!(root, here);
+    }
+
+    #[test]
+    fn sort_is_stable_across_fields() {
+        let mut d = vec![
+            Diagnostic::new(LintId::Panic, "b.rs", 1, "m"),
+            Diagnostic::new(LintId::Panic, "a.rs", 9, "m"),
+            Diagnostic::new(LintId::Determinism, "a.rs", 9, "m"),
+        ];
+        sort_diagnostics(&mut d);
+        assert_eq!(d.first().map(|x| x.id), Some(LintId::Determinism));
+        assert_eq!(d.last().map(|x| x.file.as_str()), Some("b.rs"));
+    }
+}

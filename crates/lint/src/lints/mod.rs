@@ -1,0 +1,6 @@
+//! The four lint families.
+
+pub mod determinism;
+pub mod panic;
+pub mod section_table;
+pub mod taxonomy;

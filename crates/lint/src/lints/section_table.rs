@@ -1,0 +1,318 @@
+//! The section-table lint: a static proof of Eq. 1 (paper §3.2).
+//!
+//! The section table is the paper's core contribution — thresholds at
+//! the median of adjacent refresh rates so the selected rate always
+//! leaves headroom above the section's content rates. This lint
+//! re-derives the table from the device ladder and checks the workspace
+//! against it, entirely at the token level:
+//!
+//! 1. the Galaxy S3 ladder is read out of `RefreshRateSet::galaxy_s3()`
+//!    (`crates/panel/src/refresh.rs`) as the `HZ_nn` constants it lists;
+//! 2. Eq. 1 thresholds `θ_i = (r_{i-1} + r_i) / 2` (virtual `r_0 = 0`)
+//!    must be strictly increasing;
+//! 3. headroom: `θ_i < r_i` for every section — the invariant that lets
+//!    the governor climb back up under V-Sync clipping;
+//! 4. the ladder is capped at 60 Hz (Android's fixed default must be
+//!    reachable);
+//! 5. the Fig. 5 table in the `crates/core/src/section.rs` module docs
+//!    must row-for-row equal the derived sections (the last row's upper
+//!    bound is the maximum rate itself);
+//! 6. `SectionTable::new` must actually contain the `/ 2` median
+//!    construction Eq. 1 prescribes.
+
+use crate::diag::{Diagnostic, LintId};
+use crate::lexer::Tok;
+use crate::source::{matching, SourceFile};
+
+/// Where the device ladder lives.
+pub const REFRESH_PATH: &str = "crates/panel/src/refresh.rs";
+/// Where the section table and its Fig. 5 doc table live.
+pub const SECTION_PATH: &str = "crates/core/src/section.rs";
+
+/// Runs the section-table lint given the two anchor files (either may be
+/// absent, which is itself a violation — the invariant has nowhere to
+/// hold).
+pub fn check(refresh: Option<&SourceFile>, section: Option<&SourceFile>, out: &mut Vec<Diagnostic>) {
+    let Some(refresh) = refresh else {
+        out.push(Diagnostic::new(
+            LintId::SectionTable,
+            REFRESH_PATH,
+            0,
+            "file not found: the device refresh ladder is the lint's ground truth",
+        ));
+        return;
+    };
+    let Some(section) = section else {
+        out.push(Diagnostic::new(
+            LintId::SectionTable,
+            SECTION_PATH,
+            0,
+            "file not found: the section table implements Eq. 1",
+        ));
+        return;
+    };
+    let Some((rates, ladder_line)) = extract_ladder(refresh, out) else {
+        return;
+    };
+    let thresholds = eq1_thresholds(&rates);
+
+    // Monotonicity: strictly increasing thresholds (Eq. 1 gives this for
+    // any strictly increasing ladder; a duplicated rung breaks it).
+    for pair in thresholds.windows(2) {
+        if let [a, b] = pair {
+            if a >= b {
+                out.push(Diagnostic::new(
+                    LintId::SectionTable,
+                    REFRESH_PATH,
+                    ladder_line,
+                    format!(
+                        "Eq. 1 thresholds are not strictly increasing: θ = {a} then {b} \
+                         (ladder {rates:?})"
+                    ),
+                ));
+            }
+        }
+    }
+    // Headroom: θ_i < r_i, so every in-section content rate is strictly
+    // below its selected refresh rate.
+    for (theta, hz) in thresholds.iter().zip(&rates) {
+        if *theta >= f64::from(*hz) {
+            out.push(Diagnostic::new(
+                LintId::SectionTable,
+                REFRESH_PATH,
+                ladder_line,
+                format!(
+                    "headroom invariant violated: threshold {theta} is not below its \
+                     refresh rate {hz} Hz — the governor could never climb out of this \
+                     section under V-Sync"
+                ),
+            ));
+        }
+    }
+    // The 60 Hz cap: Android's stock rate must top the ladder.
+    if rates.last() != Some(&60) {
+        out.push(Diagnostic::new(
+            LintId::SectionTable,
+            REFRESH_PATH,
+            ladder_line,
+            format!(
+                "ladder {rates:?} is not capped at 60 Hz: the stock Android rate must be \
+                 the maximum (paper §3.2)"
+            ),
+        ));
+    }
+
+    check_doc_table(section, &rates, &thresholds, out);
+    check_median_construction(section, out);
+}
+
+/// The Eq. 1 thresholds for a ladder, with the virtual 0 Hz rate below
+/// the floor: `θ_i = (r_{i-1} + r_i) / 2`.
+pub fn eq1_thresholds(rates: &[u32]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(rates.len());
+    let mut prev = 0.0;
+    for &hz in rates {
+        let hz = f64::from(hz);
+        out.push((prev + hz) / 2.0);
+        prev = hz;
+    }
+    out
+}
+
+/// Extracts the `HZ_nn` rungs listed inside `fn galaxy_s3`, ascending,
+/// plus the line the function starts on (for diagnostics).
+fn extract_ladder(refresh: &SourceFile, out: &mut Vec<Diagnostic>) -> Option<(Vec<u32>, u32)> {
+    let tokens = &refresh.tokens;
+    let mut ladder_line = 0;
+    let mut body = None;
+    for (i, token) in tokens.iter().enumerate() {
+        if !token.tok.is_ident("galaxy_s3") {
+            continue;
+        }
+        if !(i >= 1 && tokens.get(i - 1).is_some_and(|t| t.tok.is_ident("fn"))) {
+            continue;
+        }
+        ladder_line = token.line;
+        // The function body is the first `{` after the signature.
+        let open = tokens
+            .iter()
+            .enumerate()
+            .skip(i)
+            .find(|(_, t)| t.tok.is_punct('{'))
+            .map(|(j, _)| j)?;
+        let close = matching(tokens, open, '{', '}')?;
+        body = tokens.get(open + 1..close);
+        break;
+    }
+    let Some(body) = body else {
+        out.push(Diagnostic::new(
+            LintId::SectionTable,
+            REFRESH_PATH,
+            0,
+            "`fn galaxy_s3` not found: the Galaxy S3 ladder is the lint's ground truth",
+        ));
+        return None;
+    };
+    let mut rates: Vec<u32> = body
+        .iter()
+        .filter_map(|t| t.tok.ident())
+        .filter_map(|name| name.strip_prefix("HZ_"))
+        .filter_map(|hz| hz.parse().ok())
+        .collect();
+    rates.sort_unstable();
+    rates.dedup();
+    if rates.is_empty() {
+        out.push(Diagnostic::new(
+            LintId::SectionTable,
+            REFRESH_PATH,
+            ladder_line,
+            "`fn galaxy_s3` lists no `HZ_nn` constants; cannot derive the section table",
+        ));
+        return None;
+    }
+    Some((rates, ladder_line))
+}
+
+/// A parsed `| lo – hi | nn Hz |` doc-table row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocRow {
+    /// Section lower bound (fps).
+    pub lo: f64,
+    /// Section upper bound (fps).
+    pub hi: f64,
+    /// Selected refresh rate (Hz).
+    pub hz: u32,
+    /// 1-based source line of the row.
+    pub line: u32,
+}
+
+/// Parses Fig. 5 rows out of a file's comments. A row is any comment
+/// line shaped `| <lo> – <hi> | <hz> Hz |` (en-dash or hyphen).
+pub fn doc_rows(file: &SourceFile) -> Vec<DocRow> {
+    let mut rows = Vec::new();
+    for comment in &file.comments {
+        for (offset, text) in comment.text.lines().enumerate() {
+            let line = comment.line + offset as u32;
+            if let Some(row) = parse_row(text, line) {
+                rows.push(row);
+            }
+        }
+    }
+    rows
+}
+
+fn parse_row(text: &str, line: u32) -> Option<DocRow> {
+    // Strip the comment leader (`//!`, `//`, `/**`, `*`, …) down to the
+    // first `|`.
+    let cells: Vec<&str> = text
+        .get(text.find('|')?..)?
+        .split('|')
+        .map(str::trim)
+        .filter(|c| !c.is_empty())
+        .collect();
+    let [range, rate] = cells.as_slice() else {
+        return None;
+    };
+    let (lo, hi) = range.split_once('–').or_else(|| range.split_once('-'))?;
+    let lo: f64 = lo.trim().parse().ok()?;
+    let hi: f64 = hi.trim().parse().ok()?;
+    let hz: u32 = rate.strip_suffix("Hz")?.trim().parse().ok()?;
+    Some(DocRow { lo, hi, hz, line })
+}
+
+/// Checks the module-doc Fig. 5 table against the derived sections.
+fn check_doc_table(
+    section: &SourceFile,
+    rates: &[u32],
+    thresholds: &[f64],
+    out: &mut Vec<Diagnostic>,
+) {
+    let rows = doc_rows(section);
+    if rows.len() != rates.len() {
+        out.push(Diagnostic::new(
+            LintId::SectionTable,
+            SECTION_PATH,
+            rows.first().map_or(0, |r| r.line),
+            format!(
+                "module-doc Fig. 5 table has {} rows but the ladder has {} rates",
+                rows.len(),
+                rates.len()
+            ),
+        ));
+        return;
+    }
+    let mut lower = 0.0;
+    for (i, row) in rows.iter().enumerate() {
+        // The last section's upper bound is the max rate itself: content
+        // rates cannot exceed it under V-Sync.
+        let upper = if i + 1 < rates.len() {
+            thresholds.get(i).copied().unwrap_or(f64::NAN)
+        } else {
+            rates.get(i).copied().map_or(f64::NAN, f64::from)
+        };
+        let expect_hz = rates.get(i).copied().unwrap_or(0);
+        if row.lo != lower || row.hi != upper || row.hz != expect_hz {
+            out.push(Diagnostic::new(
+                LintId::SectionTable,
+                SECTION_PATH,
+                row.line,
+                format!(
+                    "Fig. 5 row {} reads `{} – {} | {} Hz` but Eq. 1 derives \
+                     `{} – {} | {} Hz`",
+                    i + 1,
+                    row.lo,
+                    row.hi,
+                    row.hz,
+                    lower,
+                    upper,
+                    expect_hz
+                ),
+            ));
+        }
+        lower = upper;
+    }
+}
+
+/// Checks that `SectionTable::new` still contains the Eq. 1 median
+/// construction: a division by the literal `2.0` (or `2`) inside the
+/// first `fn new` body.
+fn check_median_construction(section: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let tokens = &section.tokens;
+    let mut first_new_line = None;
+    for (i, token) in tokens.iter().enumerate() {
+        if !token.tok.is_ident("new") {
+            continue;
+        }
+        if !(i >= 1 && tokens.get(i - 1).is_some_and(|t| t.tok.is_ident("fn"))) {
+            continue;
+        }
+        first_new_line.get_or_insert(token.line);
+        let Some(open) = tokens
+            .iter()
+            .enumerate()
+            .skip(i)
+            .find(|(_, t)| t.tok.is_punct('{'))
+            .map(|(j, _)| j)
+        else {
+            continue;
+        };
+        let Some(close) = matching(tokens, open, '{', '}') else {
+            continue;
+        };
+        let body = tokens.get(open + 1..close).unwrap_or(&[]);
+        let has_median = body.windows(2).any(|w| {
+            matches!(w, [a, b] if a.tok.is_punct('/')
+                && matches!(&b.tok, Tok::Num(n) if n == "2.0" || n == "2"))
+        });
+        if has_median {
+            return;
+        }
+    }
+    out.push(Diagnostic::new(
+        LintId::SectionTable,
+        SECTION_PATH,
+        first_new_line.unwrap_or(0),
+        "no `fn new` in this file divides by 2: `SectionTable::new` must implement the \
+         Eq. 1 median construction, `θ_i = (r_{i-1} + r_i) / 2`",
+    ));
+}

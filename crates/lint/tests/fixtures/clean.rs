@@ -1,0 +1,27 @@
+//! Known-good fixture: idiomatic library code none of the lint families
+//! should flag.
+
+use std::collections::BTreeMap;
+
+/// Sums the first `n` values, missing entries as zero.
+pub fn sum_first(map: &BTreeMap<u32, u32>, n: u32) -> u64 {
+    (0..n)
+        .map(|k| u64::from(map.get(&k).copied().unwrap_or(0)))
+        .sum()
+}
+
+/// Splits a slice at its midpoint without indexing.
+pub fn halves(v: &[u8]) -> (&[u8], &[u8]) {
+    v.split_at(v.len() / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums() {
+        let m = BTreeMap::from([(0, 1), (1, 2)]);
+        assert_eq!(sum_first(&m, 3), 3);
+    }
+}

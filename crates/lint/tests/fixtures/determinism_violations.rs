@@ -1,0 +1,38 @@
+//! Known-bad determinism fixture, lexed by `tests/lints.rs` with a
+//! result-affecting crate name. The HashMap line doubles as the
+//! regression note for the workspace rule that result-affecting maps are
+//! ordered: iteration order of a `HashMap` is randomized per process, so
+//! any `RunResult` derived from iterating one diverges across runs. Use
+//! `BTreeMap` (as `crates/metrics/src/table.rs` and the workloads crate
+//! do) or sort before iterating.
+//! Lexed by `tests/lints.rs`; never compiled.
+
+use std::collections::HashMap; // line 10: HashMap
+use std::time::Instant; // line 11: Instant
+
+pub fn wall_clock_in_results() -> u64 {
+    let t = Instant::now(); // line 14: Instant
+    std::thread::spawn(|| 7); // line 15: thread::spawn
+    let mut m: HashMap<u32, u32> = HashMap::new(); // line 16: HashMap x2
+    m.insert(1, 2);
+    t.elapsed().as_micros() as u64 + m.len() as u64
+}
+
+pub fn telemetry_only() -> u64 {
+    // ccdem-lint: allow(determinism) — feeds a host-timing histogram,
+    // never a RunResult
+    let t = std::time::Instant::now();
+    t.elapsed().as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn test_code_may_hash() {
+        let mut s = HashSet::new();
+        s.insert(1);
+        assert_eq!(s.len(), 1);
+    }
+}

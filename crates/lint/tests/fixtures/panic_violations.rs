@@ -1,0 +1,30 @@
+//! Known-bad panic-policy fixture. NOT compiled into the crate — read
+//! and lexed by `tests/lints.rs`, which asserts the exact diagnostic
+//! lines marked below.
+//!
+//! The string literal "call .unwrap() here" and the doc mention of
+//! `unwrap()` above must NOT be flagged: they are data, not code.
+
+pub fn library_code(v: &[u32], o: Option<u32>) -> u32 {
+    let msg = "call .unwrap() here";
+    let raw = r#"also .unwrap() and v[0] in a raw string"#;
+    let first = v[0]; // line 11: index expression
+    let second = o.unwrap(); // line 12: unwrap
+    let third = o.expect("present"); // line 13: expect
+    if msg.is_empty() && raw.is_empty() {
+        panic!("line 15: panic macro");
+    }
+    let all = &v[..]; // RangeFull: never flagged
+    let allowed = v[1]; // ccdem-lint: allow(panic) — bounds checked above
+    first + second + third + allowed + all.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v = vec![1u32];
+        assert_eq!(v[0], super::library_code(&v, Some(1)).min(1));
+        Some(3u32).unwrap();
+    }
+}

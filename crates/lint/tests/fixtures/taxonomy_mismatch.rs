@@ -1,0 +1,19 @@
+//! Taxonomy fixture, lexed by `tests/lints.rs` against a miniature
+//! design table that documents `run.start` and `meter.frames` only.
+
+pub fn emits(obs: &Obs, reg: &Registry, now: SimTime) {
+    obs.emit("run.start", now, |_| {}); // documented
+    obs.emit("governor.mystery", now, |_| {}); // line 6: undocumented event
+    let _e = Event::new("panel.ghost"); // line 7: undocumented event
+    let _c = reg.counter("meter.frames"); // documented
+    let _g = reg.gauge("meter.phantom_px"); // line 9: undocumented metric
+    obs_event!(obs, now, "input.mystery", |_| {}); // line 10: undocumented event
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_emissions_are_ignored() {
+        obs.emit("test.only.event", now, |_| {});
+    }
+}

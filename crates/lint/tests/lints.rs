@@ -1,0 +1,394 @@
+//! Fixture-corpus tests: every lint family against known-good and
+//! known-bad inputs, asserting exact diagnostic IDs and line numbers,
+//! plus end-to-end runs of the `ccdem-lint` binary against miniature
+//! workspaces seeded with one violation per family.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use ccdem_lint::diag::{Diagnostic, LintId};
+use ccdem_lint::lexer::lex;
+use ccdem_lint::lints::{determinism, panic as panic_lint, section_table, taxonomy};
+use ccdem_lint::source::SourceFile;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lexes a fixture under a crate name and applies the same line-level
+/// suppression filtering the driver does.
+fn check_fixture(
+    name: &str,
+    crate_name: &str,
+    run: impl Fn(&SourceFile, &mut Vec<Diagnostic>),
+) -> Vec<(LintId, u32)> {
+    let lexed = lex(&fixture(name)).expect("fixture lexes");
+    let file = SourceFile::new(name.to_string(), crate_name.to_string(), lexed);
+    let mut out = Vec::new();
+    run(&file, &mut out);
+    out.retain(|d| !file.is_allowed(d.id, d.line));
+    let mut pairs: Vec<(LintId, u32)> = out.iter().map(|d| (d.id, d.line)).collect();
+    pairs.sort();
+    pairs
+}
+
+#[test]
+fn panic_fixture_flags_exact_lines() {
+    let pairs = check_fixture("panic_violations.rs", "core", panic_lint::check);
+    assert_eq!(
+        pairs,
+        vec![
+            (LintId::Panic, 11), // v[0]
+            (LintId::Panic, 12), // .unwrap()
+            (LintId::Panic, 13), // .expect(…)
+            (LintId::Panic, 15), // panic!
+        ],
+        "strings containing unwrap(), the RangeFull slice, the allow-\
+         suppressed index, and the #[cfg(test)] module must not be flagged"
+    );
+}
+
+#[test]
+fn panic_fixture_is_exempt_in_bench_crates() {
+    let pairs = check_fixture("panic_violations.rs", "bench", panic_lint::check);
+    assert!(pairs.is_empty(), "bench crates are panic-exempt: {pairs:?}");
+}
+
+#[test]
+fn determinism_fixture_flags_exact_lines() {
+    let pairs = check_fixture("determinism_violations.rs", "core", determinism::check);
+    assert_eq!(
+        pairs,
+        vec![
+            (LintId::Determinism, 10), // use HashMap
+            (LintId::Determinism, 11), // use Instant
+            (LintId::Determinism, 14), // Instant::now
+            (LintId::Determinism, 15), // thread::spawn
+            (LintId::Determinism, 16), // HashMap type + constructor
+            (LintId::Determinism, 16),
+        ],
+        "the allow-suppressed telemetry block and the test-module HashSet \
+         must not be flagged"
+    );
+}
+
+#[test]
+fn determinism_skips_non_result_affecting_crates() {
+    let pairs = check_fixture("determinism_violations.rs", "obs", determinism::check);
+    assert!(pairs.is_empty(), "obs is not result-affecting: {pairs:?}");
+}
+
+#[test]
+fn determinism_skips_whitelisted_files() {
+    let lexed = lex(&fixture("determinism_violations.rs")).expect("fixture lexes");
+    let file = SourceFile::new(
+        "crates/simkit/src/parallel.rs".to_string(),
+        "simkit".to_string(),
+        lexed,
+    );
+    let mut out = Vec::new();
+    determinism::check(&file, &mut out);
+    assert!(out.is_empty(), "whitelisted host-timing file: {out:?}");
+}
+
+#[test]
+fn clean_fixture_passes_every_family() {
+    assert!(check_fixture("clean.rs", "core", panic_lint::check).is_empty());
+    assert!(check_fixture("clean.rs", "core", determinism::check).is_empty());
+    let lexed = lex(&fixture("clean.rs")).expect("fixture lexes");
+    let file = SourceFile::new("clean.rs".into(), "core".into(), lexed);
+    let mut emissions = Vec::new();
+    taxonomy::collect(&file, &mut emissions);
+    assert!(emissions.is_empty());
+}
+
+const MINI_DESIGN: &str = "\
+# Design
+
+## 8. Observability
+
+### Event taxonomy
+
+| name | purpose |
+|---|---|
+| `run.start` | run started |
+| `panel.stale` | documented but never emitted |
+
+### Metric taxonomy
+
+| name | kind |
+|---|---|
+| `meter.frames` | counter |
+";
+
+#[test]
+fn taxonomy_fixture_flags_both_directions() {
+    let lexed = lex(&fixture("taxonomy_mismatch.rs")).expect("fixture lexes");
+    let file = SourceFile::new("taxonomy_mismatch.rs".into(), "core".into(), lexed);
+    let mut emissions = Vec::new();
+    taxonomy::collect(&file, &mut emissions);
+    let mut out = Vec::new();
+    taxonomy::check(MINI_DESIGN, "DESIGN.md", &emissions, &mut out);
+
+    let mut pairs: Vec<(String, u32)> = out.iter().map(|d| (d.file.clone(), d.line)).collect();
+    pairs.sort();
+    let stale_row = MINI_DESIGN
+        .lines()
+        .position(|l| l.contains("panel.stale"))
+        .expect("row present") as u32
+        + 1;
+    assert_eq!(
+        pairs,
+        vec![
+            ("DESIGN.md".to_string(), stale_row), // documented, never emitted
+            ("taxonomy_mismatch.rs".to_string(), 6), // governor.mystery
+            ("taxonomy_mismatch.rs".to_string(), 7), // panel.ghost
+            ("taxonomy_mismatch.rs".to_string(), 9), // meter.phantom_px
+            ("taxonomy_mismatch.rs".to_string(), 10), // input.mystery
+        ],
+        "test-module emissions must not count; documented names must all \
+         be emitted: {out:?}"
+    );
+    assert!(out.iter().all(|d| d.id == LintId::ObsTaxonomy));
+}
+
+#[test]
+fn taxonomy_lint_is_blind_to_its_own_crate() {
+    let lexed = lex(&fixture("taxonomy_mismatch.rs")).expect("fixture lexes");
+    let file = SourceFile::new("x.rs".into(), "lint".into(), lexed);
+    let mut emissions = Vec::new();
+    taxonomy::collect(&file, &mut emissions);
+    assert!(emissions.is_empty());
+}
+
+#[test]
+fn eq1_thresholds_match_paper_fig5() {
+    assert_eq!(
+        section_table::eq1_thresholds(&[20, 24, 30, 40, 60]),
+        vec![10.0, 22.0, 27.0, 35.0, 50.0]
+    );
+}
+
+// --- acceptance: the real workspace, with and without tampering ---
+
+fn repo_root() -> PathBuf {
+    ccdem_lint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above the lint crate")
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let report = ccdem_lint::run(&ccdem_lint::LintOptions::new(repo_root())).expect("lint runs");
+    assert!(
+        report.clean(),
+        "the committed workspace must lint clean:\n{}",
+        report
+            .reported
+            .iter()
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files_scanned > 50, "scan looks truncated");
+}
+
+#[test]
+fn removing_a_documented_event_fails_the_lint() {
+    let root = repo_root();
+    let design = fs::read_to_string(root.join("DESIGN.md")).expect("DESIGN.md");
+    let names = taxonomy::documented_names(&design);
+    // Pick a name documented exactly once, so deleting its row really
+    // undocuments it (event and metric namespaces are checked jointly).
+    let victim = names
+        .iter()
+        .find(|d| names.iter().filter(|o| o.name == d.name).count() == 1)
+        .expect("a uniquely documented name");
+    let pruned: String = design
+        .lines()
+        .enumerate()
+        .filter(|(i, _)| (i + 1) as u32 != victim.line)
+        .map(|(_, l)| format!("{l}\n"))
+        .collect();
+
+    let mut options = ccdem_lint::LintOptions::new(root);
+    options.design_text = Some(pruned);
+    let report = ccdem_lint::run(&options).expect("lint runs");
+    assert!(
+        report
+            .reported
+            .iter()
+            .any(|d| d.id == LintId::ObsTaxonomy && d.message.contains(&victim.name)),
+        "deleting the `{}` row from DESIGN.md must fail the taxonomy lint; got {:?}",
+        victim.name,
+        report.reported
+    );
+}
+
+// --- end-to-end: the ccdem-lint binary against seeded mini-workspaces ---
+
+/// A minimal valid workspace the lint accepts end to end.
+struct MiniWorkspace {
+    root: PathBuf,
+}
+
+impl MiniWorkspace {
+    fn new(tag: &str) -> MiniWorkspace {
+        let root = std::env::temp_dir().join(format!(
+            "ccdem-lint-e2e-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        let w = MiniWorkspace { root };
+        w.write("Cargo.toml", "[workspace]\nmembers = []\n");
+        w.write(
+            "DESIGN.md",
+            "# Mini\n\n## 8. Observability\n\n### Event taxonomy\n\n\
+             | name | purpose |\n|---|---|\n| `app.tick` | tick |\n\n\
+             ### Metric taxonomy\n\n| name | kind |\n|---|---|\n\
+             | `app.ticks` | counter |\n",
+        );
+        w.write(
+            "crates/core/src/lib.rs",
+            "pub fn run(obs: &Obs, reg: &Registry, now: SimTime) {\n    \
+             obs.emit(\"app.tick\", now, |_| {});\n    \
+             let _c = reg.counter(\"app.ticks\");\n}\n",
+        );
+        w.write(
+            "crates/panel/src/refresh.rs",
+            "pub struct RefreshRate(u32);\n\
+             impl RefreshRate {\n    \
+             pub const HZ_20: RefreshRate = RefreshRate(20);\n    \
+             pub const HZ_60: RefreshRate = RefreshRate(60);\n}\n\
+             pub fn galaxy_s3() -> (RefreshRate, RefreshRate) {\n    \
+             (RefreshRate::HZ_20, RefreshRate::HZ_60)\n}\n",
+        );
+        w.write(
+            "crates/core/src/section.rs",
+            "//! | 0 \u{2013} 10 | 20 Hz |\n\
+             //! | 10 \u{2013} 60 | 60 Hz |\n\
+             pub fn new(rates: &[f64]) -> Vec<f64> {\n    \
+             let mut prev = 0.0;\n    \
+             let mut out = Vec::new();\n    \
+             for r in rates {\n        \
+             out.push((prev + r) / 2.0);\n        \
+             prev = *r;\n    }\n    out\n}\n",
+        );
+        w
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        let path = self.root.join(rel);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).expect("mkdir");
+        }
+        fs::write(&path, contents).expect("write");
+    }
+
+    fn lint(&self) -> (i32, String) {
+        let output = Command::new(env!("CARGO_BIN_EXE_ccdem-lint"))
+            .current_dir(&self.root)
+            .output()
+            .expect("run ccdem-lint");
+        (
+            output.status.code().unwrap_or(-1),
+            String::from_utf8_lossy(&output.stdout).into_owned(),
+        )
+    }
+}
+
+impl Drop for MiniWorkspace {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn e2e_clean_workspace_exits_zero() {
+    let w = MiniWorkspace::new("clean");
+    let (code, stdout) = w.lint();
+    assert_eq!(code, 0, "expected clean, got:\n{stdout}");
+}
+
+#[test]
+fn e2e_seeded_panic_violation_fails() {
+    let w = MiniWorkspace::new("panic");
+    let w_file = "crates/core/src/bad.rs";
+    w.write(w_file, "pub fn first(v: &[u32]) -> u32 {\n    v[0]\n}\n");
+    let (code, stdout) = w.lint();
+    assert_eq!(code, 1, "stdout:\n{stdout}");
+    assert!(stdout.contains("[panic]") && stdout.contains("bad.rs:2"), "{stdout}");
+}
+
+#[test]
+fn e2e_seeded_determinism_violation_fails() {
+    let w = MiniWorkspace::new("det");
+    w.write(
+        "crates/core/src/bad.rs",
+        "use std::collections::HashMap;\npub type Cache = HashMap<u32, u32>;\n",
+    );
+    let (code, stdout) = w.lint();
+    assert_eq!(code, 1, "stdout:\n{stdout}");
+    assert!(stdout.contains("[determinism]"), "{stdout}");
+}
+
+#[test]
+fn e2e_seeded_taxonomy_violation_fails() {
+    let w = MiniWorkspace::new("tax");
+    w.write(
+        "crates/core/src/bad.rs",
+        "pub fn leak(obs: &Obs, now: SimTime) {\n    \
+         obs.emit(\"ghost.event\", now, |_| {});\n}\n",
+    );
+    let (code, stdout) = w.lint();
+    assert_eq!(code, 1, "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("[obs-taxonomy]") && stdout.contains("ghost.event"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn e2e_seeded_section_table_violation_fails() {
+    let w = MiniWorkspace::new("sect");
+    // Wrong Fig. 5 row: the 20 Hz section must end at the Eq. 1 median
+    // threshold 10, not 15.
+    w.write(
+        "crates/core/src/section.rs",
+        "//! | 0 \u{2013} 15 | 20 Hz |\n\
+         //! | 15 \u{2013} 60 | 60 Hz |\n\
+         pub fn new(rates: &[f64]) -> Vec<f64> {\n    \
+         let mut prev = 0.0;\n    \
+         let mut out = Vec::new();\n    \
+         for r in rates {\n        \
+         out.push((prev + r) / 2.0);\n        \
+         prev = *r;\n    }\n    out\n}\n",
+    );
+    let (code, stdout) = w.lint();
+    assert_eq!(code, 1, "stdout:\n{stdout}");
+    assert!(stdout.contains("[section-table]"), "{stdout}");
+}
+
+#[test]
+fn e2e_baseline_absorbs_then_ratchets() {
+    let w = MiniWorkspace::new("baseline");
+    w.write("crates/core/src/bad.rs", "pub fn f(v: &[u32]) -> u32 {\n    v[0]\n}\n");
+    w.write(
+        "lint.allow",
+        "# test baseline\npanic crates/core/src/bad.rs 1\n",
+    );
+    let (code, stdout) = w.lint();
+    assert_eq!(code, 0, "one finding within budget:\n{stdout}");
+
+    // A second violation exceeds the budget: the whole group reports.
+    w.write(
+        "crates/core/src/bad.rs",
+        "pub fn f(v: &[u32]) -> u32 {\n    v[0] + v[1]\n}\n",
+    );
+    let (code, stdout) = w.lint();
+    assert_eq!(code, 1, "over budget:\n{stdout}");
+    assert!(stdout.contains("exceed the lint.allow budget"), "{stdout}");
+}

@@ -121,8 +121,10 @@ impl RefreshRateSet {
         }
         rates.sort();
         for pair in rates.windows(2) {
-            if pair[0] == pair[1] {
-                return Err(BuildRateSetError::Duplicate(pair[0]));
+            if let [a, b] = pair {
+                if a == b {
+                    return Err(BuildRateSetError::Duplicate(*a));
+                }
             }
         }
         Ok(RefreshRateSet { rates })
@@ -138,7 +140,7 @@ impl RefreshRateSet {
             RefreshRate::HZ_40,
             RefreshRate::HZ_60,
         ])
-        .expect("static set is valid")
+        .expect("static set is valid") // ccdem-lint: allow(panic) — five distinct rates
     }
 
     /// A single fixed rate (stock Android behaviour: 60 Hz only).
@@ -163,11 +165,12 @@ impl RefreshRateSet {
 
     /// The lowest supported rate.
     pub fn min(&self) -> RefreshRate {
-        self.rates[0]
+        self.rates[0] // ccdem-lint: allow(panic) — non-empty by construction
     }
 
     /// The highest supported rate.
     pub fn max(&self) -> RefreshRate {
+        // ccdem-lint: allow(panic) — non-empty by construction
         *self.rates.last().expect("set is non-empty")
     }
 

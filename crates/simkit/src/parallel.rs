@@ -141,6 +141,8 @@ impl ParallelRunner {
             for _ in 0..jobs {
                 scope.spawn(|| loop {
                     let batch: Vec<(usize, T)> = {
+                        // ccdem-lint: allow(panic) — poisoned lock means a
+                        // worker already panicked; re-raising is correct
                         let mut q = queue.lock().expect("queue poisoned");
                         let take = chunk.min(q.len());
                         if take == 0 {
@@ -150,6 +152,8 @@ impl ParallelRunner {
                     };
                     for (index, item) in batch {
                         let result = f(index, item);
+                        // ccdem-lint: allow(panic) — poison re-raises a
+                        // worker panic; `index` < `n` by construction
                         results.lock().expect("results poisoned")[index] = Some(result);
                     }
                 });
@@ -158,9 +162,11 @@ impl ParallelRunner {
 
         results
             .into_inner()
+            // ccdem-lint: allow(panic) — poisoned lock re-raises a worker
+            // panic; every slot was filled before the scope closed
             .expect("results poisoned")
             .into_iter()
-            .map(|r| r.expect("worker completed every drained job"))
+            .map(|r| r.expect("worker completed every drained job")) // ccdem-lint: allow(panic)
             .collect()
     }
 }

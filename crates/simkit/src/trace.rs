@@ -73,9 +73,9 @@ impl Trace {
             .samples
             .binary_search_by(|&(t, _)| t.cmp(&time))
         {
-            Ok(i) => Some(self.samples[i].1),
+            Ok(i) => self.samples.get(i).map(|&(_, v)| v),
             Err(0) => None,
-            Err(i) => Some(self.samples[i - 1].1),
+            Err(i) => self.samples.get(i - 1).map(|&(_, v)| v),
         }
     }
 
@@ -183,7 +183,7 @@ impl Trace {
         if let Some(cur) = current {
             add(cur, (end - cursor).as_secs_f64());
         }
-        acc.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN in traces"));
+        acc.sort_by(|a, b| a.0.total_cmp(&b.0));
         acc
     }
 }

@@ -101,6 +101,7 @@ impl AppModel for AppSwitcher {
         let index = self.active_index(now);
         let switched = self.last_index != Some(index);
         self.last_index = Some(index);
+        // ccdem-lint: allow(panic) — `active_index` is modulo `apps.len()`
         let mut tick = self.apps[index].tick(now, input, rng);
         if switched {
             // The launch/resume transition repaints the whole screen.
@@ -111,6 +112,8 @@ impl AppModel for AppSwitcher {
 
     fn render(&mut self, change: ContentChange, buffer: &mut FrameBuffer, rng: &mut SimRng) {
         let index = self.last_index.unwrap_or(0);
+        // ccdem-lint: allow(panic) — `last_index` comes from
+        // `active_index`, modulo `apps.len()`; 0 is valid (non-empty set)
         self.apps[index].render(change, buffer, rng);
     }
 }

@@ -109,8 +109,10 @@ impl FrameTrace {
             return Err(ParseTraceError::Empty);
         }
         for (i, pair) in entries.windows(2).enumerate() {
-            if pair[1].time < pair[0].time {
-                return Err(ParseTraceError::OutOfOrder { line: i + 2 });
+            if let [a, b] = pair {
+                if b.time < a.time {
+                    return Err(ParseTraceError::OutOfOrder { line: i + 2 });
+                }
             }
         }
         Ok(FrameTrace { entries })
@@ -138,7 +140,8 @@ impl FrameTrace {
 
     /// The last entry's timestamp.
     pub fn duration(&self) -> SimTime {
-        self.entries.last().expect("non-empty").time
+        // Traces are non-empty by construction ([`FrameTrace::new`]).
+        self.entries.last().map_or(SimTime::ZERO, |e| e.time)
     }
 }
 
@@ -220,20 +223,31 @@ impl AppModel for TraceApp {
 
     fn tick(&mut self, now: SimTime, _input: &InputContext, _rng: &mut SimRng) -> FrameTick {
         let entries = self.trace.entries();
-        let current = entries[self.cursor];
+        // Traces are non-empty and the cursor wraps to zero before it can
+        // pass the end, so the lookups below cannot miss; fall back to an
+        // idle tick rather than panicking if that ever changes.
+        let Some(&current) = entries.get(self.cursor) else {
+            self.cursor = 0;
+            return FrameTick {
+                change: ContentChange::None,
+                next_in: SimDuration::from_micros(100),
+            };
+        };
         // Advance the cursor; wrap by restarting the trace relative to
         // the wall clock.
         self.cursor += 1;
-        let next_time = if self.cursor < entries.len() {
-            entries[self.cursor].time + self.loop_offset
-        } else {
-            self.cursor = 0;
-            // Restart one nominal gap after `now`.
-            let gap = SimDuration::from_micros(
-                (self.trace.duration().as_micros() / entries.len() as u64).max(1),
-            );
-            self.loop_offset = (now + gap) - entries[0].time;
-            entries[0].time + self.loop_offset
+        let next_time = match entries.get(self.cursor) {
+            Some(next) => next.time + self.loop_offset,
+            None => {
+                self.cursor = 0;
+                // Restart one nominal gap after `now`.
+                let gap = SimDuration::from_micros(
+                    (self.trace.duration().as_micros() / entries.len() as u64).max(1),
+                );
+                let first = entries.first().map_or(SimTime::ZERO, |e| e.time);
+                self.loop_offset = (now + gap) - first;
+                first + self.loop_offset
+            }
         };
         let delay = next_time.saturating_since(now);
         FrameTick {

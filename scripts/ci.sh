@@ -14,5 +14,8 @@ cargo test -q --test trace_jsonl
 # on malformed or regressed output).
 cargo run --release -q --bin ccdem -- bench --quick --out target/bench_smoke.json
 cargo run --release -q --bin ccdem -- bench --check target/bench_smoke.json
+# Workspace static analysis (hard gate): determinism, panic-policy,
+# obs-taxonomy, and section-table invariants — see DESIGN.md §10.
+cargo run --release -q --bin ccdem -- lint --json
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

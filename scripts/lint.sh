@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Run the ccdem-lint workspace static analysis (DESIGN.md §10).
+#
+#   scripts/lint.sh            human-readable diagnostics
+#   scripts/lint.sh --json     ccdem-obs JSON lines
+#   scripts/lint.sh --fix-baseline   rewrite lint.allow to current findings
+#
+# Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec cargo run -q -p ccdem-lint -- "$@"

@@ -12,6 +12,7 @@
 //!                [--obs summary|none]
 //! ccdem report   [--duration <secs>] [--seed <n>] [--jobs <n>]
 //!                [--obs summary|none]
+//! ccdem lint     [--json] [--fix-baseline]
 //! ```
 //!
 //! `simulate` runs one app under one policy against its fixed-60 Hz
@@ -23,7 +24,8 @@
 //! worker pool (`--jobs 1` forces the serial path; the results are
 //! identical either way) and prints Table 1 plus host timing; `report`
 //! prints every sweep-derived view (Figs. 9–11 and Table 1) plus the
-//! telemetry-metrics summary.
+//! telemetry-metrics summary. `lint` runs the zero-dependency workspace
+//! static-analysis pass (DESIGN.md §10) and exits non-zero on findings.
 //!
 //! Every command accepts `--quiet`/`-q` to suppress progress chatter on
 //! stderr; results on stdout are unaffected. Unknown flags are rejected.
@@ -46,19 +48,24 @@ use ccdem_obs::progress;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("catalog") => cmd_catalog(&args[1..]),
-        Some("table") => cmd_table(&args[1..]),
-        Some("simulate") => cmd_simulate(&args[1..]),
-        Some("trace") => cmd_trace(&args[1..]),
-        Some("sweep") => cmd_sweep(&args[1..], false),
-        Some("report") => cmd_sweep(&args[1..], true),
-        Some("bench") => cmd_bench(&args[1..]),
-        Some("--help") | Some("-h") | None => {
+    let Some((command, rest)) = args.split_first() else {
+        print_usage();
+        return ExitCode::SUCCESS;
+    };
+    match command.as_str() {
+        "catalog" => cmd_catalog(rest),
+        "table" => cmd_table(rest),
+        "simulate" => cmd_simulate(rest),
+        "trace" => cmd_trace(rest),
+        "sweep" => cmd_sweep(rest, false),
+        "report" => cmd_sweep(rest, true),
+        "bench" => cmd_bench(rest),
+        "lint" => cmd_lint(rest),
+        "--help" | "-h" => {
             print_usage();
             ExitCode::SUCCESS
         }
-        Some(other) => {
+        other => {
             eprintln!("unknown command {other:?}\n");
             print_usage();
             ExitCode::FAILURE
@@ -85,7 +92,11 @@ fn print_usage() {
          [--check <file.json>]\n                                \
          measure the metering fast path at the paper's five pixel\n                                \
          budgets and write BENCH_PR3.json; --check validates an\n                                \
-         existing report instead of measuring\n\n\
+         existing report instead of measuring\n  \
+         lint [--json] [--fix-baseline]\n                                \
+         run the workspace static-analysis pass (DESIGN.md \u{a7}10);\n                                \
+         --json emits obs-envelope JSON lines, --fix-baseline\n                                \
+         rewrites lint.allow to the current findings\n\n\
          every command accepts --quiet/-q to silence progress output\n\n\
          see also: cargo run --release --example paper_report -- all"
     );
@@ -203,6 +214,55 @@ fn cmd_catalog(args: &[String]) -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let flags = parse_or_fail!(args, &[], &["--json", "--fix-baseline"]);
+    let cwd = match std::env::current_dir() {
+        Ok(cwd) => cwd,
+        Err(err) => {
+            eprintln!("lint: cannot determine working directory: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = ccdem::lint::find_workspace_root(&cwd) else {
+        eprintln!("lint: no workspace Cargo.toml above {}", cwd.display());
+        return ExitCode::from(2);
+    };
+    let mut options = ccdem::lint::LintOptions::new(root);
+    options.fix_baseline = flags.switch("--fix-baseline");
+    match ccdem::lint::run(&options) {
+        Ok(report) => {
+            for d in &report.reported {
+                if flags.switch("--json") {
+                    println!("{}", d.to_json());
+                } else {
+                    println!("{}", d.render());
+                }
+            }
+            progress!(
+                "lint: {} file(s) scanned, {} finding(s), {} baselined, {} suppressed{}",
+                report.files_scanned,
+                report.reported.len(),
+                report.baselined.len(),
+                report.suppressed,
+                if report.baseline_rewritten {
+                    " (lint.allow rewritten)"
+                } else {
+                    ""
+                },
+            );
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("lint: {err}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn cmd_table(args: &[String]) -> ExitCode {

@@ -21,6 +21,7 @@
 //! | [`metrics`] | display quality, dropped frames, Table 1 aggregates |
 //! | [`obs`] | structured tracing, metrics registry, JSONL telemetry export |
 //! | [`experiments`] | scenario runner and every paper figure/table |
+//! | [`lint`] | zero-dep workspace static analysis (determinism, panic policy, obs taxonomy, Eq. 1) |
 //!
 //! # Quickstart
 //!
@@ -51,6 +52,7 @@
 pub use ccdem_compositor as compositor;
 pub use ccdem_core as core;
 pub use ccdem_experiments as experiments;
+pub use ccdem_lint as lint;
 pub use ccdem_metrics as metrics;
 pub use ccdem_obs as obs;
 pub use ccdem_panel as panel;
