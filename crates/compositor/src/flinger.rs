@@ -12,6 +12,7 @@ use std::fmt;
 use ccdem_pixelbuf::buffer::FrameBuffer;
 use ccdem_pixelbuf::damage::DamageRegion;
 use ccdem_pixelbuf::geometry::Resolution;
+use ccdem_pixelbuf::pool::PixelPool;
 use ccdem_simkit::time::SimTime;
 
 use crate::stats::FrameStats;
@@ -88,22 +89,47 @@ pub struct SurfaceFlinger {
     /// `None` until the first compose.
     composed_layout: Option<(usize, u64)>,
     naive_compose: bool,
+    /// Recycled pixel storage new surfaces draw from; empty unless
+    /// constructed via [`with_pool`](Self::with_pool).
+    pool: PixelPool,
 }
 
 impl SurfaceFlinger {
     /// Creates a compositor with an empty surface list and a black
     /// framebuffer.
     pub fn new(resolution: Resolution) -> SurfaceFlinger {
+        SurfaceFlinger::with_pool(resolution, PixelPool::new())
+    }
+
+    /// [`new`](Self::new), but drawing the framebuffer and all future
+    /// surface buffers from recycled `pool` storage. Recycled buffers are
+    /// reset to the freshly-constructed state, so behaviour is identical
+    /// to a pool-less compositor; only allocations are saved. Harvest the
+    /// storage back with [`into_pool`](Self::into_pool) when the run is
+    /// over.
+    pub fn with_pool(resolution: Resolution, mut pool: PixelPool) -> SurfaceFlinger {
         SurfaceFlinger {
             resolution,
             surfaces: Vec::new(),
-            framebuffer: FrameBuffer::new(resolution),
+            framebuffer: pool.take_framebuffer(resolution),
             pending: 0,
             pending_content: false,
             stats: FrameStats::new(),
             composed_layout: None,
             naive_compose: false,
+            pool,
         }
+    }
+
+    /// Consumes the compositor, returning its pool with the framebuffer's
+    /// and every surface's storage recycled into it.
+    pub fn into_pool(self) -> PixelPool {
+        let mut pool = self.pool;
+        pool.give_framebuffer(self.framebuffer);
+        for surface in self.surfaces {
+            pool.give_framebuffer(surface.into_buffer());
+        }
+        pool
     }
 
     /// Forces every composition to recompose the full screen, disabling
@@ -119,10 +145,12 @@ impl SurfaceFlinger {
         self.resolution
     }
 
-    /// Creates a new full-screen surface and returns its id.
+    /// Creates a new full-screen surface (from pooled storage when
+    /// available) and returns its id.
     pub fn create_surface(&mut self, label: impl Into<String>) -> SurfaceId {
         let id = SurfaceId::new(self.surfaces.len());
-        self.surfaces.push(Surface::new(id, label, self.resolution));
+        let buffer = self.pool.take_framebuffer(self.resolution);
+        self.surfaces.push(Surface::with_buffer(id, label, buffer));
         id
     }
 

@@ -57,16 +57,29 @@ pub struct Surface {
 impl Surface {
     /// Creates a visible, opaque, full-screen surface at z-order 0.
     pub fn new(id: SurfaceId, label: impl Into<String>, resolution: Resolution) -> Surface {
+        Surface::with_buffer(id, label, FrameBuffer::new(resolution))
+    }
+
+    /// [`new`](Self::new) with a caller-provided buffer — typically one
+    /// rebuilt from recycled storage ([`FrameBuffer::recycled`]), which is
+    /// indistinguishable from a fresh buffer. The surface covers the
+    /// buffer's full resolution.
+    pub fn with_buffer(id: SurfaceId, label: impl Into<String>, buffer: FrameBuffer) -> Surface {
         Surface {
             id,
             label: label.into(),
-            buffer: FrameBuffer::new(resolution),
-            bounds: resolution.bounds(),
+            bounds: buffer.resolution().bounds(),
+            buffer,
             z_order: 0,
             visible: true,
             opaque: true,
             layout_generation: 0,
         }
+    }
+
+    /// Consumes the surface, returning its buffer for recycling.
+    pub fn into_buffer(self) -> FrameBuffer {
+        self.buffer
     }
 
     /// The surface id.

@@ -14,6 +14,7 @@ use ccdem_pixelbuf::buffer::FrameBuffer;
 use ccdem_pixelbuf::damage::DamageRegion;
 use ccdem_pixelbuf::geometry::Resolution;
 use ccdem_pixelbuf::grid::GridSampler;
+use ccdem_pixelbuf::pool::PixelPool;
 use ccdem_panel::refresh::{RefreshRate, RefreshRateSet};
 use ccdem_simkit::time::{SimDuration, SimTime};
 use ccdem_simkit::trace::Trace;
@@ -320,6 +321,19 @@ impl Governor {
     /// Creates a governor for a panel with `rates`, metering a framebuffer
     /// of `resolution` under `config`.
     pub fn new(rates: RefreshRateSet, resolution: Resolution, config: GovernorConfig) -> Governor {
+        Governor::with_scratch(rates, resolution, config, &mut PixelPool::new())
+    }
+
+    /// [`new`](Self::new), but seeding the meter's snapshot buffers from
+    /// recycled `pool` storage. Behaviour is identical to a fresh
+    /// governor (the snapshot is reset before first use); only the
+    /// allocations are reused. Pair with [`recycle`](Self::recycle).
+    pub fn with_scratch(
+        rates: RefreshRateSet,
+        resolution: Resolution,
+        config: GovernorConfig,
+        pool: &mut PixelPool,
+    ) -> Governor {
         let sampler = GridSampler::for_pixel_budget(resolution, config.grid_budget());
         let table = SectionTable::new(rates.clone());
         let naive = NaiveRateMapper::new(rates.clone());
@@ -331,7 +345,7 @@ impl Governor {
             naive,
             booster: TouchBooster::new(config.boost_hold()),
             meter: {
-                let mut meter = ContentRateMeter::new(sampler);
+                let mut meter = ContentRateMeter::with_scratch(sampler, pool);
                 meter.set_retention(config.meter_retention());
                 meter.set_naive(config.naive_metering());
                 meter
@@ -343,6 +357,12 @@ impl Governor {
             obs: Obs::disabled(),
             metrics: GovernorMetrics::from_registry(),
         }
+    }
+
+    /// Consumes the governor, handing the meter's snapshot storage back
+    /// to `pool` for the next run.
+    pub fn recycle(self, pool: &mut PixelPool) {
+        self.meter.recycle(pool);
     }
 
     /// Routes decision telemetry through `obs` and propagates the handle

@@ -48,6 +48,7 @@ use ccdem_pixelbuf::buffer::FrameBuffer;
 use ccdem_pixelbuf::damage::DamageRegion;
 use ccdem_pixelbuf::grid::GridSampler;
 use ccdem_pixelbuf::pixel::Pixel;
+use ccdem_pixelbuf::pool::PixelPool;
 use ccdem_simkit::time::{SimDuration, SimTime};
 use ccdem_simkit::trace::EventCounter;
 
@@ -170,6 +171,25 @@ impl ContentRateMeter {
             obs: Obs::disabled(),
             metrics: MeterMetrics::from_registry(),
         }
+    }
+
+    /// [`new`](Self::new), but seeding the snapshot buffers from recycled
+    /// `pool` storage instead of allocating. The observable state is
+    /// identical to a fresh meter: the snapshot is unprimed and fully
+    /// overwritten on the first observation, so results cannot depend on
+    /// where the storage came from. Pair with
+    /// [`recycle`](Self::recycle).
+    pub fn with_scratch(sampler: GridSampler, pool: &mut PixelPool) -> ContentRateMeter {
+        let mut meter = ContentRateMeter::new(sampler);
+        meter.snapshot = pool.take();
+        meter.naive_back = pool.take();
+        meter
+    }
+
+    /// Consumes the meter, handing its snapshot storage back to `pool`.
+    pub fn recycle(self, pool: &mut PixelPool) {
+        pool.give(self.snapshot);
+        pool.give(self.naive_back);
     }
 
     /// Switches the meter to the naive pre-optimisation path: a full grid
@@ -440,7 +460,10 @@ pub fn measure_metering_cost(
     iterations: u32,
 ) -> std::time::Duration {
     assert!(iterations > 0, "iterations must be non-zero");
-    let mut snapshot = sampler.sample(framebuffer);
+    // Prime outside the timed loop, through the non-allocating gather —
+    // `GridSampler::sample` allocates per call and is not for hot paths.
+    let mut snapshot = Vec::new();
+    sampler.sample_into(framebuffer, &mut snapshot);
     // ccdem-lint: allow(determinism) — micro-bench helper; host time is its output
     let start = std::time::Instant::now();
     for _ in 0..iterations {

@@ -22,7 +22,7 @@ use ccdem_simkit::parallel::ParallelRunner;
 use ccdem_simkit::time::{SimDuration, SimTime};
 use ccdem_workloads::catalog;
 
-use crate::scenario::{scaled_budget, Scenario, Workload};
+use crate::scenario::{scaled_budget, RunScratch, Scenario, Workload};
 use ccdem_pixelbuf::geometry::Resolution;
 
 /// Configuration for the ablation sweeps.
@@ -105,10 +105,17 @@ fn measure_all(
     items: Vec<(String, GovernorConfig)>,
 ) -> Vec<AblationPoint> {
     ParallelRunner::new(config.jobs)
-        .run_many(items, |_, (label, governor)| measure(config, label, governor))
+        .run_many_with(items, RunScratch::new, |scratch, _, (label, governor)| {
+            measure(config, label, governor, scratch)
+        })
 }
 
-fn measure(config: &AblationConfig, label: String, governor: GovernorConfig) -> AblationPoint {
+fn measure(
+    config: &AblationConfig,
+    label: String,
+    governor: GovernorConfig,
+    scratch: &mut RunScratch,
+) -> AblationPoint {
     let mut scenario = Scenario::new(
         Workload::App(catalog::jelly_splash()),
         governor.policy(),
@@ -124,7 +131,7 @@ fn measure(config: &AblationConfig, label: String, governor: GovernorConfig) -> 
         .with_boost_hold(governor.boost_hold())
         .with_smoothing_alpha(governor.smoothing_alpha())
         .with_down_dwell(governor.down_dwell());
-    let (governed, baseline) = scenario.run_with_baseline();
+    let (governed, baseline) = scenario.run_with_baseline_scratch(scratch);
     AblationPoint {
         label,
         saved_mw: baseline.avg_power_mw - governed.avg_power_mw,
@@ -256,9 +263,10 @@ pub fn psr_sweep(config: &AblationConfig) -> Ablation {
     // no new framebuffer write, so a 60 fps-submitting game (every cycle
     // receives a frame, however redundant) is unaffected — the idle app
     // whose panel mostly self-refreshes is where the interaction lives.
-    let points = ParallelRunner::new(config.jobs).run_many(
+    let points = ParallelRunner::new(config.jobs).run_many_with(
         vec![0.0f64, 0.25, 0.5, 0.75, 1.0],
-        |_, discount| {
+        RunScratch::new,
+        |scratch, _, discount| {
             let mut scenario = Scenario::new(
                 Workload::App(catalog::facebook()),
                 Policy::SectionWithBoost,
@@ -267,7 +275,7 @@ pub fn psr_sweep(config: &AblationConfig) -> Ablation {
             .with_duration(config.duration)
             .with_seed(config.seed);
             scenario.power = PowerCoefficients::galaxy_s3().with_psr_discount(discount);
-            let (governed, baseline) = scenario.run_with_baseline();
+            let (governed, baseline) = scenario.run_with_baseline_scratch(scratch);
             AblationPoint {
                 label: format!("PSR discount {discount}"),
                 saved_mw: baseline.avg_power_mw - governed.avg_power_mw,

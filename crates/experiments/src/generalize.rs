@@ -16,7 +16,7 @@ use ccdem_simkit::parallel::ParallelRunner;
 use ccdem_simkit::time::SimDuration;
 use ccdem_workloads::catalog;
 
-use crate::scenario::{scaled_budget, Scenario, Workload};
+use crate::scenario::{scaled_budget, RunScratch, Scenario, Workload};
 
 /// Configuration for the generalization sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,7 +95,7 @@ pub fn run(config: &GeneralizeConfig) -> Generalize {
                 .map(move |spec| (device.clone(), spec))
         })
         .collect();
-    let runs = ParallelRunner::new(config.jobs).run_many(cells, |_, (device, spec)| {
+    let runs = ParallelRunner::new(config.jobs).run_many_with(cells, RunScratch::new, |scratch, _, (device, spec)| {
         let native = device.resolution();
         let quarter = Resolution::new(
             (native.width / 4).max(32),
@@ -111,7 +111,7 @@ pub fn run(config: &GeneralizeConfig) -> Generalize {
         scenario.device = device.with_resolution(quarter);
         scenario.governor = GovernorConfig::new(Policy::SectionWithBoost)
             .with_grid_budget(scaled_budget(quarter, 9_216));
-        let (governed, baseline) = scenario.run_with_baseline();
+        let (governed, baseline) = scenario.run_with_baseline_scratch(scratch);
         DeviceRun {
             device: device.name().to_string(),
             app,

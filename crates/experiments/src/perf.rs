@@ -1,4 +1,5 @@
-//! PR 3 performance baseline — the damage-aware metering fast path.
+//! The metering micro-benchmark behind the committed `BENCH_PR3.json`
+//! and `BENCH_PR5.json` reports.
 //!
 //! Benchmarks the per-frame metering cost at the paper's five pixel
 //! budgets (Fig. 6's x-axis) across the frame shapes the fast path
@@ -38,6 +39,15 @@ use crate::sweep::{self, SweepConfig};
 
 /// The benchmark's frame shapes, in report order.
 pub const CASES: [&str; 4] = ["redundant", "small_damage", "full_change", "naive_redundant"];
+
+/// The `"bench"` marker newly generated reports carry (the PR 5 row-run
+/// metering engine produced them).
+pub const MARKER: &str = "ccdem-pr5-row-run-metering";
+
+/// The marker of the committed PR 3 baseline report. [`validate`]
+/// accepts both generations so `BENCH_PR3.json` stays checkable as the
+/// comparison baseline.
+pub const MARKER_PR3: &str = "ccdem-pr3-metering-fast-path";
 
 /// Configuration for the PR 3 benchmark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -225,7 +235,7 @@ impl PerfReport {
     /// Serializes the report as the `BENCH_PR3.json` document.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(2048);
-        out.push_str("{\n  \"bench\": \"ccdem-pr3-metering-fast-path\",\n");
+        out.push_str(&format!("{{\n  \"bench\": \"{MARKER}\",\n"));
         out.push_str(&format!("  \"frames_per_case\": {},\n", self.frames));
         out.push_str("  \"budgets\": [\n");
         for (bi, b) in self.budgets.iter().enumerate() {
@@ -292,17 +302,22 @@ impl fmt::Display for PerfReport {
     }
 }
 
-/// Validates a `BENCH_PR3.json` document: well-formed JSON, all five
-/// paper budgets present with every case measured, and the PR's
-/// headline criterion — each budget's fast redundant path reads at most
-/// half the pixels of the naive redundant path.
+/// Validates a benchmark report document (`BENCH_PR3.json` or
+/// `BENCH_PR5.json`; both [`MARKER`] generations are accepted):
+/// well-formed JSON, all five paper budgets present with every case
+/// measured, and the PR 3 headline criterion — each budget's fast
+/// redundant path reads at most half the pixels of the naive redundant
+/// path. The PR 5 *timing* criteria (row-run speedup over the committed
+/// baseline) live in [`crate::perfcmp::check`], which compares two
+/// reports.
 ///
 /// # Errors
 ///
 /// Returns a description of the first violation.
 pub fn validate(document: &str) -> Result<(), String> {
     let doc = json::parse(document)?;
-    if doc.get("bench").and_then(Json::as_str) != Some("ccdem-pr3-metering-fast-path") {
+    let marker = doc.get("bench").and_then(Json::as_str);
+    if marker != Some(MARKER) && marker != Some(MARKER_PR3) {
         return Err("missing or wrong \"bench\" marker".into());
     }
     let Some(Json::Arr(budgets)) = doc.get("budgets") else {
@@ -446,6 +461,16 @@ mod tests {
         assert!(validate(&bad).is_err(), "inflated fast-path reads accepted");
         let truncated = good.replace("\"sweep\": null", "\"swoop\": null");
         assert!(validate(&truncated).is_err(), "missing sweep accepted");
+        let wrong_marker = good.replace(MARKER, "ccdem-pr9-imaginary");
+        assert!(validate(&wrong_marker).is_err(), "unknown marker accepted");
+    }
+
+    #[test]
+    fn both_marker_generations_validate() {
+        let good = quick().to_json();
+        assert!(good.contains(MARKER));
+        let pr3 = good.replace(MARKER, MARKER_PR3);
+        validate(&pr3).expect("the PR 3 baseline marker must stay accepted");
     }
 
     #[test]

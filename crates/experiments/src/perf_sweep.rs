@@ -1,0 +1,130 @@
+//! Wall-clock evidence for per-worker scratch reuse.
+//!
+//! The scenario engine allocates several framebuffers and meter
+//! snapshots per run; [`RunScratch`] recycles them across runs. This
+//! harness times the same batch of runs twice — fresh allocations every
+//! run vs one reused scratch — and asserts the results are identical,
+//! which is the contract the `scratch_determinism` integration test pins
+//! exhaustively.
+//!
+//! This file measures host time on purpose (it exists to report wall
+//! seconds); it is whitelisted in the determinism lint alongside
+//! `perf.rs`. The simulation outputs it compares remain deterministic.
+
+use std::fmt;
+use std::time::Instant;
+
+use ccdem_core::governor::Policy;
+use ccdem_simkit::time::SimDuration;
+use ccdem_workloads::catalog;
+
+use crate::scenario::{RunScratch, Scenario, Workload};
+
+/// Timings of one batch measured both ways.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepTiming {
+    /// Runs per batch.
+    pub runs: u32,
+    /// Simulated seconds per run.
+    pub sim_secs: u64,
+    /// Wall seconds with fresh allocations every run.
+    pub fresh_secs: f64,
+    /// Wall seconds with one reused [`RunScratch`].
+    pub reused_secs: f64,
+    /// Whether both batches produced field-for-field equal results
+    /// (always true; asserted before returning).
+    pub identical: bool,
+}
+
+impl SweepTiming {
+    /// Fresh time over reused time; > 1 means reuse helped.
+    pub fn speedup(&self) -> f64 {
+        self.fresh_secs / self.reused_secs.max(f64::MIN_POSITIVE)
+    }
+}
+
+impl fmt::Display for SweepTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scratch reuse over {} runs x {} s: fresh {:.2} s, reused {:.2} s \
+             ({:.2}x), results identical: {}",
+            self.runs,
+            self.sim_secs,
+            self.fresh_secs,
+            self.reused_secs,
+            self.speedup(),
+            self.identical
+        )
+    }
+}
+
+fn scenario_for(seed: u64, sim_secs: u64) -> Scenario {
+    Scenario::new(Workload::App(catalog::facebook()), Policy::SectionWithBoost)
+        .at_quarter_resolution()
+        .with_duration(SimDuration::from_secs(sim_secs))
+        .with_seed(seed)
+}
+
+/// Runs `runs` quarter-resolution scenarios of `sim_secs` each, fresh
+/// then reused, and returns both wall timings.
+///
+/// # Panics
+///
+/// Panics if the reused batch differs from the fresh batch in any
+/// `RunResult` field — that would mean scratch recycling leaked state.
+pub fn run(runs: u32, sim_secs: u64) -> SweepTiming {
+    let runs = runs.max(1);
+    let sim_secs = sim_secs.max(1);
+
+    let started = Instant::now();
+    let fresh: Vec<_> = (0..runs)
+        .map(|i| scenario_for(u64::from(i), sim_secs).run())
+        .collect();
+    let fresh_secs = started.elapsed().as_secs_f64();
+
+    let mut scratch = RunScratch::new();
+    let started = Instant::now();
+    let reused: Vec<_> = (0..runs)
+        .map(|i| scenario_for(u64::from(i), sim_secs).run_with_scratch(&mut scratch))
+        .collect();
+    let reused_secs = started.elapsed().as_secs_f64();
+
+    assert_eq!(fresh, reused, "scratch reuse changed a RunResult");
+    SweepTiming {
+        runs,
+        sim_secs,
+        fresh_secs,
+        reused_secs,
+        identical: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_agree_and_timings_are_positive() {
+        let t = run(2, 2);
+        assert!(t.identical);
+        assert!(t.fresh_secs > 0.0);
+        assert!(t.reused_secs > 0.0);
+        assert_eq!(t.runs, 2);
+    }
+
+    #[test]
+    fn display_mentions_both_timings() {
+        let t = SweepTiming {
+            runs: 8,
+            sim_secs: 5,
+            fresh_secs: 1.5,
+            reused_secs: 1.0,
+            identical: true,
+        };
+        let s = t.to_string();
+        assert!(s.contains("1.50 s"));
+        assert!(s.contains("1.50x"));
+        assert!(s.contains("identical: true"));
+    }
+}

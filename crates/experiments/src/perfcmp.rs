@@ -1,0 +1,355 @@
+//! Comparing two benchmark reports — the delta table behind
+//! `ccdem bench --compare` and the speedup gate behind
+//! `ccdem bench --check <new> --baseline <old>`.
+//!
+//! [`perf::validate`] checks one report in isolation (structure plus the
+//! deterministic points-read criteria). This module reads *two* reports
+//! and reasons about their timing columns:
+//!
+//! * [`compare`] renders a per-(budget, case) table of baseline vs new
+//!   ns/frame with the speedup factor — the human-facing diff between,
+//!   say, the committed `BENCH_PR3.json` and `BENCH_PR5.json`.
+//! * [`check`] additionally enforces the PR 5 acceptance gate: the
+//!   row-run engine must halve `full_change` time at the full 720×1280
+//!   grid, and must not regress `redundant` or `small_damage` at any
+//!   budget (beyond a noise margin — both files are committed artifacts
+//!   measured on possibly different hosts, so the margin absorbs clock
+//!   jitter without letting a real regression through).
+//!
+//! Timing gates on freshly measured numbers would be flaky; CI therefore
+//! runs [`check`] on the two *committed* reports, which is deterministic.
+
+use std::fmt;
+
+use ccdem_metrics::table::TextTable;
+use ccdem_obs::json::{self, Json};
+
+use crate::perf;
+
+/// Required speedup of `full_change` at the largest (full-grid) budget:
+/// new ns/frame × this factor must not exceed the baseline's.
+pub const FULL_CHANGE_SPEEDUP: f64 = 2.0;
+
+/// Allowed ratio of new/baseline ns/frame on the cases that must not
+/// regress (`redundant`, `small_damage`). Committed reports come from
+/// real hosts, so exact equality is unattainable; 1.25× absorbs timer
+/// jitter while still failing on any real slowdown.
+pub const REGRESSION_MARGIN: f64 = 1.25;
+
+/// Absolute slack added on top of [`REGRESSION_MARGIN`]: a case only
+/// counts as regressed when it exceeds the relative margin *and* is at
+/// least this many ns/frame over the baseline. The O(1) `redundant` and
+/// tiny `small_damage` cases complete in ~100–600 ns, where a single
+/// scheduler hiccup moves the 200-frame mean by a factor of 2; a purely
+/// relative margin would flag that noise. The floor is two orders of
+/// magnitude below any microsecond-scale case, so for every measurement
+/// large enough to be stable the relative margin still governs.
+pub const NOISE_FLOOR_NS: f64 = 500.0;
+
+/// The per-case mean timings of one budget row, by name (no positional
+/// indexing anywhere downstream).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetTimings {
+    /// Sampled pixels per full comparison.
+    pub pixels: f64,
+    /// Mean ns/frame for the O(1)-classified redundant frame.
+    pub redundant_ns: f64,
+    /// Mean ns/frame for the status-bar-sized damage frame.
+    pub small_damage_ns: f64,
+    /// Mean ns/frame for the every-pixel-changed frame.
+    pub full_change_ns: f64,
+    /// Mean ns/frame for the naive double-gather reference.
+    pub naive_redundant_ns: f64,
+}
+
+impl BudgetTimings {
+    /// The timed cases as `(name, ns_per_frame)` pairs, in report order.
+    pub fn cases(&self) -> [(&'static str, f64); 4] {
+        [
+            ("redundant", self.redundant_ns),
+            ("small_damage", self.small_damage_ns),
+            ("full_change", self.full_change_ns),
+            ("naive_redundant", self.naive_redundant_ns),
+        ]
+    }
+}
+
+/// One baseline-vs-new budget pairing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetPair {
+    /// The older report's timings.
+    pub baseline: BudgetTimings,
+    /// The newer report's timings.
+    pub new: BudgetTimings,
+}
+
+/// The parsed comparison of two reports, budgets ascending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// The baseline report's `"bench"` marker.
+    pub baseline_marker: String,
+    /// The new report's `"bench"` marker.
+    pub new_marker: String,
+    /// Paired budget rows, ascending by pixel count.
+    pub pairs: Vec<BudgetPair>,
+}
+
+/// Extracts the timing columns of a validated report document.
+///
+/// # Errors
+///
+/// Anything [`perf::validate`] rejects, plus missing timing members.
+pub fn parse_timings(document: &str) -> Result<(String, Vec<BudgetTimings>), String> {
+    perf::validate(document)?;
+    let doc = json::parse(document)?;
+    let marker = doc
+        .get("bench")
+        .and_then(Json::as_str)
+        .ok_or("missing \"bench\" marker")?
+        .to_string();
+    let Some(Json::Arr(budgets)) = doc.get("budgets") else {
+        return Err("missing \"budgets\" array".into());
+    };
+    let mut rows = Vec::with_capacity(budgets.len());
+    for b in budgets {
+        let pixels = b
+            .get("pixels")
+            .and_then(Json::as_f64)
+            .ok_or("budget entry missing \"pixels\"")?;
+        let ns = |name: &str| -> Result<f64, String> {
+            b.get("cases")
+                .and_then(|cases| cases.get(name))
+                .and_then(|case| case.get("ns_per_frame"))
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("budget {pixels}: missing ns_per_frame for {name:?}"))
+        };
+        rows.push(BudgetTimings {
+            pixels,
+            redundant_ns: ns("redundant")?,
+            small_damage_ns: ns("small_damage")?,
+            full_change_ns: ns("full_change")?,
+            naive_redundant_ns: ns("naive_redundant")?,
+        });
+    }
+    Ok((marker, rows))
+}
+
+/// Parses both documents and pairs their budget rows.
+///
+/// # Errors
+///
+/// Either document failing [`parse_timings`], or the two reports not
+/// measuring the same pixel budgets.
+pub fn compare(new_document: &str, baseline_document: &str) -> Result<Comparison, String> {
+    let (new_marker, new_rows) = parse_timings(new_document)?;
+    let (baseline_marker, baseline_rows) = parse_timings(baseline_document)?;
+    if new_rows.len() != baseline_rows.len() {
+        return Err(format!(
+            "budget count mismatch: new has {}, baseline has {}",
+            new_rows.len(),
+            baseline_rows.len()
+        ));
+    }
+    let pairs = baseline_rows
+        .into_iter()
+        .zip(new_rows)
+        .map(|(baseline, new)| {
+            if (baseline.pixels - new.pixels).abs() > 0.5 {
+                return Err(format!(
+                    "budget mismatch: baseline measured {} pixels where new measured {}",
+                    baseline.pixels, new.pixels
+                ));
+            }
+            Ok(BudgetPair { baseline, new })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Comparison {
+        baseline_marker,
+        new_marker,
+        pairs,
+    })
+}
+
+/// [`compare`], then enforces the PR 5 speedup gate:
+///
+/// 1. at the largest budget, `full_change` must be at least
+///    [`FULL_CHANGE_SPEEDUP`]× faster than the baseline;
+/// 2. at every budget, `redundant` and `small_damage` must stay within
+///    [`REGRESSION_MARGIN`]× of the baseline, with [`NOISE_FLOOR_NS`]
+///    of absolute slack for the sub-microsecond cases.
+///
+/// # Errors
+///
+/// Parse failures from [`compare`], or a description of the first gate
+/// violation.
+pub fn check(new_document: &str, baseline_document: &str) -> Result<Comparison, String> {
+    let comparison = compare(new_document, baseline_document)?;
+    let top = comparison
+        .pairs
+        .last()
+        .ok_or("no budgets to compare")?;
+    if top.new.full_change_ns * FULL_CHANGE_SPEEDUP > top.baseline.full_change_ns {
+        return Err(format!(
+            "full_change at {} px: {:.1} ns/frame vs baseline {:.1} — \
+             less than the required {FULL_CHANGE_SPEEDUP}x speedup",
+            top.new.pixels, top.new.full_change_ns, top.baseline.full_change_ns
+        ));
+    }
+    for pair in &comparison.pairs {
+        for ((name, new_ns), (_, baseline_ns)) in
+            pair.new.cases().into_iter().zip(pair.baseline.cases())
+        {
+            if name == "full_change" || name == "naive_redundant" {
+                continue; // gated above / reference only
+            }
+            if new_ns > baseline_ns * REGRESSION_MARGIN && new_ns > baseline_ns + NOISE_FLOOR_NS {
+                return Err(format!(
+                    "{name} at {} px regressed: {new_ns:.1} ns/frame vs baseline \
+                     {baseline_ns:.1} (margin {REGRESSION_MARGIN}x + {NOISE_FLOOR_NS} ns)",
+                    pair.new.pixels
+                ));
+            }
+        }
+    }
+    Ok(comparison)
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "benchmark comparison: {} (baseline) vs {} (new); speedup = baseline / new",
+            self.baseline_marker, self.new_marker
+        )?;
+        let mut t = TextTable::new(["pixels", "case", "baseline ns", "new ns", "speedup"]);
+        for pair in &self.pairs {
+            for ((name, new_ns), (_, baseline_ns)) in
+                pair.new.cases().into_iter().zip(pair.baseline.cases())
+            {
+                t.row([
+                    format!("{:.0}", pair.new.pixels),
+                    name.to_string(),
+                    format!("{baseline_ns:.1}"),
+                    format!("{new_ns:.1}"),
+                    format!("{:.2}x", baseline_ns / new_ns.max(f64::MIN_POSITIVE)),
+                ]);
+            }
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig6::PAPER_BUDGETS;
+    use crate::perf::{BudgetResult, CaseResult, PerfReport};
+
+    /// A structurally valid report whose ns/frame for `(budget index,
+    /// case index)` comes from `ns_of`. Points-read columns satisfy the
+    /// PR 3 criteria by construction.
+    fn synthetic(ns_of: impl Fn(usize, usize) -> f64) -> String {
+        let budgets = PAPER_BUDGETS
+            .iter()
+            .enumerate()
+            .map(|(bi, &pixels)| BudgetResult {
+                pixels,
+                grid: (1, 1),
+                cases: [
+                    CaseResult {
+                        ns_per_frame: ns_of(bi, 0),
+                        points_read_per_frame: 0.0,
+                    },
+                    CaseResult {
+                        ns_per_frame: ns_of(bi, 1),
+                        points_read_per_frame: 1.0,
+                    },
+                    CaseResult {
+                        ns_per_frame: ns_of(bi, 2),
+                        points_read_per_frame: pixels as f64,
+                    },
+                    CaseResult {
+                        ns_per_frame: ns_of(bi, 3),
+                        points_read_per_frame: 2.0 * pixels as f64,
+                    },
+                ],
+            })
+            .collect();
+        PerfReport {
+            frames: 1,
+            budgets,
+            sweep: None,
+        }
+        .to_json()
+    }
+
+    #[test]
+    fn self_comparison_is_unit_speedup_but_fails_the_gate() {
+        let doc = synthetic(|_, _| 100.0);
+        let cmp = compare(&doc, &doc).expect("self compare parses");
+        assert_eq!(cmp.pairs.len(), PAPER_BUDGETS.len());
+        for pair in &cmp.pairs {
+            assert_eq!(pair.baseline, pair.new);
+        }
+        let err = check(&doc, &doc).unwrap_err();
+        assert!(err.contains("full_change"), "gate must name the case: {err}");
+    }
+
+    #[test]
+    fn halved_full_change_passes_the_gate() {
+        let baseline = synthetic(|_, _| 1000.0);
+        // 2.5x faster on full_change, slightly faster elsewhere.
+        let new = synthetic(|_, case| if case == 2 { 400.0 } else { 900.0 });
+        let cmp = check(&new, &baseline).expect("a 2.5x speedup must pass");
+        let top = cmp.pairs.last().unwrap();
+        assert_eq!(top.new.full_change_ns, 400.0);
+    }
+
+    #[test]
+    fn small_damage_regression_fails_the_gate() {
+        let baseline = synthetic(|_, _| 1000.0);
+        let new = synthetic(|_, case| match case {
+            2 => 100.0,   // huge full_change win…
+            1 => 2000.0,  // …but small_damage doubled
+            _ => 1000.0,
+        });
+        let err = check(&new, &baseline).unwrap_err();
+        assert!(err.contains("small_damage"), "wrong violation: {err}");
+    }
+
+    #[test]
+    fn regression_margin_absorbs_noise() {
+        let baseline = synthetic(|_, _| 1000.0);
+        let new = synthetic(|_, case| if case == 2 { 400.0 } else { 1200.0 });
+        check(&new, &baseline).expect("a 1.2x wobble is within the margin");
+    }
+
+    #[test]
+    fn noise_floor_absorbs_sub_microsecond_jitter() {
+        // 150 ns → 450 ns is a 3x ratio but only 300 ns of drift — pure
+        // scheduler noise at this scale, inside the absolute floor.
+        let baseline = synthetic(|_, _| 150.0);
+        let new = synthetic(|_, case| if case == 2 { 60.0 } else { 450.0 });
+        check(&new, &baseline).expect("sub-floor drift must not fail the gate");
+        // The same ratio above the floor is a real regression.
+        let slow = synthetic(|_, case| if case == 2 { 60.0 } else { 900.0 });
+        let err = check(&slow, &baseline).unwrap_err();
+        assert!(err.contains("regressed"), "wrong violation: {err}");
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        let good = synthetic(|_, _| 100.0);
+        assert!(compare(&good, "{not json").is_err());
+        assert!(compare("{}", &good).is_err());
+    }
+
+    #[test]
+    fn display_renders_every_budget_and_case() {
+        let doc = synthetic(|bi, ci| (bi * 4 + ci + 1) as f64);
+        let rendered = compare(&doc, &doc).unwrap().to_string();
+        assert!(rendered.contains("921600"));
+        assert!(rendered.contains("naive_redundant"));
+        assert!(rendered.contains("1.00x"));
+    }
+}

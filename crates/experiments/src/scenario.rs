@@ -27,6 +27,7 @@ use ccdem_panel::device::DeviceProfile;
 use ccdem_panel::panel::Panel;
 use ccdem_panel::vsync::VsyncScheduler;
 use ccdem_pixelbuf::geometry::Resolution;
+use ccdem_pixelbuf::pool::PixelPool;
 use ccdem_power::meter::PowerMeter;
 use ccdem_power::model::{DisplayActivity, PowerCoefficients};
 use ccdem_simkit::event::EventQueue;
@@ -215,21 +216,71 @@ impl Scenario {
     }
 
     /// Runs the scenario to completion.
+    ///
+    /// Allocates fresh buffers for the run. Callers executing many runs
+    /// back to back (sweeps, ablations) should hold a [`RunScratch`] and
+    /// call [`run_with_scratch`](Self::run_with_scratch) instead.
     pub fn run(&self) -> RunResult {
-        Engine::new(self).run()
+        self.run_with_scratch(&mut RunScratch::new())
+    }
+
+    /// [`run`](Self::run), recycling buffer storage through `scratch`.
+    ///
+    /// Every framebuffer and meter snapshot is taken from the scratch
+    /// pool at engine start and returned to it at engine end, so a loop
+    /// of runs over one scratch reaches a steady state with near-zero
+    /// per-run allocation. Recycled buffers are reset before first use
+    /// ([`FrameBuffer::recycled`](ccdem_pixelbuf::buffer::FrameBuffer::recycled)),
+    /// so the result is byte-identical to [`run`](Self::run) — the
+    /// `scratch_determinism` integration test pins this.
+    pub fn run_with_scratch(&self, scratch: &mut RunScratch) -> RunResult {
+        Engine::new(self, scratch).run(scratch)
     }
 
     /// Runs this scenario and its fixed-60 Hz baseline twin (identical
     /// seed and workload), returning `(governed, baseline)`.
     pub fn run_with_baseline(&self) -> (RunResult, RunResult) {
-        let governed = self.run();
+        self.run_with_baseline_scratch(&mut RunScratch::new())
+    }
+
+    /// [`run_with_baseline`](Self::run_with_baseline) recycling buffer
+    /// storage through `scratch`; both twins share the same pool.
+    pub fn run_with_baseline_scratch(&self, scratch: &mut RunScratch) -> (RunResult, RunResult) {
+        let governed = self.run_with_scratch(scratch);
         let mut baseline = self.clone();
         baseline.governor = GovernorConfig::new(Policy::FixedMax)
             .with_control_window(self.governor.control_window())
             .with_grid_budget(self.governor.grid_budget())
             .with_boost_hold(self.governor.boost_hold())
             .with_naive_metering(self.governor.naive_metering());
-        (governed, baseline.run())
+        (governed, baseline.run_with_scratch(scratch))
+    }
+}
+
+/// Reusable buffer storage shared across scenario runs.
+///
+/// One run at Galaxy S3 resolution allocates several megabytes of
+/// framebuffers (compositor framebuffer, one per surface) and meter
+/// snapshots. A sweep that holds one `RunScratch` per worker and calls
+/// [`Scenario::run_with_scratch`] pays those allocations once: each
+/// engine drains the pool at start and refills it at finish, and every
+/// recycled buffer is reset before use, so results are byte-identical
+/// to fresh-allocation runs regardless of what ran on the scratch
+/// before.
+#[derive(Debug, Clone, Default)]
+pub struct RunScratch {
+    pool: PixelPool,
+}
+
+impl RunScratch {
+    /// An empty scratch; buffers accumulate as runs complete.
+    pub fn new() -> RunScratch {
+        RunScratch::default()
+    }
+
+    /// Number of pooled buffers currently held (diagnostics/tests).
+    pub fn pooled_buffers(&self) -> usize {
+        self.pool.len()
     }
 }
 
@@ -270,7 +321,7 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(scenario: &'a Scenario) -> Engine<'a> {
+    fn new(scenario: &'a Scenario, scratch: &mut RunScratch) -> Engine<'a> {
         let device = &scenario.device;
         let resolution = device.resolution();
         let root = SimRng::seed_from_u64(scenario.seed);
@@ -278,7 +329,13 @@ impl<'a> Engine<'a> {
         let mut script_rng = root.fork(2);
         let meter_rng = root.fork(3);
 
-        let mut flinger = SurfaceFlinger::new(resolution);
+        // Drain the scratch pool: the governor's meter snapshots come out
+        // first (by reference), then the compositor owns the pool for the
+        // run so surface creation recycles too. `finish` refills it.
+        let mut pool = std::mem::take(&mut scratch.pool);
+        let mut governor =
+            Governor::with_scratch(device.rates().clone(), resolution, scenario.governor, &mut pool);
+        let mut flinger = SurfaceFlinger::with_pool(resolution, pool);
         flinger.set_naive_compose(scenario.governor.naive_metering());
         let app = scenario.workload.instantiate(resolution, &mut app_rng);
         let surface = flinger.create_surface(app.name().to_string());
@@ -295,7 +352,6 @@ impl<'a> Engine<'a> {
             id
         });
 
-        let mut governor = Governor::new(device.rates().clone(), resolution, scenario.governor);
         governor.attach_obs(scenario.obs.clone());
         let mut controller = RefreshController::new(
             device.rates().clone(),
@@ -346,7 +402,7 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run(mut self) -> RunResult {
+    fn run(mut self, scratch: &mut RunScratch) -> RunResult {
         let app_name = self.app.name().to_string();
         self.obs.emit("run.start", SimTime::ZERO, |event| {
             event
@@ -368,7 +424,7 @@ impl<'a> Engine<'a> {
                 Event::StatusBarTick => self.on_status_bar_tick(now),
             }
         }
-        self.finish()
+        self.finish(scratch)
     }
 
     fn on_app_frame(&mut self, now: SimTime) {
@@ -480,7 +536,7 @@ impl<'a> Engine<'a> {
             .schedule(now + POWER_SAMPLE_INTERVAL, Event::PowerSample);
     }
 
-    fn finish(self) -> RunResult {
+    fn finish(self, scratch: &mut RunScratch) -> RunResult {
         let duration = self.scenario.duration;
         let end = self.end;
         let stats = self.flinger.stats();
@@ -510,7 +566,7 @@ impl<'a> Engine<'a> {
                 .field("quality_pct", quality_pct);
         });
 
-        RunResult {
+        let result = RunResult {
             app_name: self.app.name().to_string(),
             app_class: self.app.class(),
             policy: self.scenario.governor.policy(),
@@ -535,7 +591,15 @@ impl<'a> Engine<'a> {
             displayed_content_fps: displayed_fps,
             measured_content_fps: measured_fps,
             panel_refreshes: self.panel.refresh_count(),
-        }
+        };
+
+        // Return every buffer to the scratch pool for the next run: the
+        // compositor gives back the framebuffer and all surface buffers,
+        // the governor its meter snapshots.
+        let mut pool = self.flinger.into_pool();
+        self.governor.recycle(&mut pool);
+        scratch.pool = pool;
+        result
     }
 }
 

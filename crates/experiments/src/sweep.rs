@@ -28,7 +28,7 @@ use ccdem_workloads::app::AppClass;
 use ccdem_workloads::catalog;
 use ccdem_workloads::phased::AppSpec;
 
-use crate::scenario::{RunResult, Scenario, Workload};
+use crate::scenario::{RunResult, RunScratch, Scenario, Workload};
 
 /// The two governed policies evaluated against the baseline.
 pub const EVALUATED_POLICIES: [Policy; 2] = [Policy::SectionOnly, Policy::SectionWithBoost];
@@ -174,7 +174,7 @@ pub fn run_timed_with_obs(config: &SweepConfig, obs: &Obs) -> (Sweep, TimingRepo
     });
     let mut span = obs.span("sweep", ccdem_simkit::time::SimTime::ZERO);
     span.field("runs", items.len());
-    let runs = runner.run_many(items, |_, (app_index, spec, policy)| {
+    let runs = runner.run_many_with(items, RunScratch::new, |scratch, _, (app_index, spec, policy)| {
         let seed = derive_seed(config.seed, app_index as u64);
         let run_started = Instant::now(); // ccdem-lint: allow(determinism) — timing only
         let mut s = Scenario::new(Workload::App(spec), policy)
@@ -185,7 +185,7 @@ pub fn run_timed_with_obs(config: &SweepConfig, obs: &Obs) -> (Sweep, TimingRepo
         if config.quarter_resolution {
             s = s.at_quarter_resolution();
         }
-        let result = s.run();
+        let result = s.run_with_scratch(scratch);
         let timing = RunTiming::new(
             format!("{} / {}", result.app_name, policy),
             run_started.elapsed(),

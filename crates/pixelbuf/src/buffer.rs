@@ -65,6 +65,31 @@ impl FrameBuffer {
         }
     }
 
+    /// Rebuilds a framebuffer from recycled pixel `storage`: the
+    /// observable state is identical to [`new`](Self::new) (black RGBA8888
+    /// pixels, both generations zero, empty damage), but the storage's
+    /// allocation is reused. This is the steady-state path of scratch
+    /// reuse across sweep runs — pair it with
+    /// [`into_storage`](Self::into_storage).
+    pub fn recycled(resolution: Resolution, mut storage: Vec<Pixel>) -> FrameBuffer {
+        storage.clear();
+        storage.resize(resolution.pixel_count(), Pixel::BLACK);
+        FrameBuffer {
+            resolution,
+            format: PixelFormat::Rgba8888,
+            pixels: storage,
+            generation: 0,
+            content_generation: 0,
+            damage: DamageRegion::new(),
+        }
+    }
+
+    /// Consumes the buffer, handing its pixel storage back for recycling
+    /// (see [`recycled`](Self::recycled)).
+    pub fn into_storage(self) -> Vec<Pixel> {
+        self.pixels
+    }
+
     /// The buffer's resolution.
     pub fn resolution(&self) -> Resolution {
         self.resolution
@@ -201,16 +226,19 @@ impl FrameBuffer {
         );
         let clipped = rect.clipped_to(self.resolution);
         if let Some(r) = clipped {
+            let convert = self.format != src.format;
+            let format = self.format;
+            let w = r.width as usize;
             for y in r.y..r.bottom() {
                 let i = self.index(r.x, y);
-                let w = r.width as usize;
-                if self.format == src.format {
-                    let (a, b) = (i, i + w);
-                    self.pixels[a..b].copy_from_slice(&src.pixels[a..b]);
-                } else {
-                    for dx in 0..w {
-                        self.pixels[i + dx] = self.format.quantize(src.pixels[i + dx]);
+                let dst = &mut self.pixels[i..i + w];
+                let from = &src.pixels[i..i + w];
+                if convert {
+                    for (d, &s) in dst.iter_mut().zip(from) {
+                        *d = format.quantize(s);
                     }
+                } else {
+                    dst.copy_from_slice(from);
                 }
             }
         }
@@ -233,12 +261,14 @@ impl FrameBuffer {
         );
         let clipped = rect.clipped_to(self.resolution);
         if let Some(r) = clipped {
+            let format = self.format;
+            let w = r.width as usize;
             for y in r.y..r.bottom() {
                 let i = self.index(r.x, y);
-                for dx in 0..r.width as usize {
-                    let s = src.pixels[i + dx];
-                    let d = self.pixels[i + dx];
-                    self.pixels[i + dx] = self.format.quantize(s.over(d));
+                let dst = &mut self.pixels[i..i + w];
+                let from = &src.pixels[i..i + w];
+                for (d, &s) in dst.iter_mut().zip(from) {
+                    *d = format.quantize(s.over(*d));
                 }
             }
         }
@@ -455,6 +485,22 @@ mod tests {
         dst.blend_rect_from(&overlay, rect);
         assert_eq!(dst.as_pixels(), reference.as_pixels());
         assert_eq!(dst.take_damage().bounding(), rect);
+    }
+
+    #[test]
+    fn recycled_buffer_is_indistinguishable_from_new() {
+        let res = Resolution::new(6, 5);
+        let mut used = FrameBuffer::new(res);
+        used.fill(Pixel::WHITE);
+        used.set_pixel(1, 1, Pixel::grey(3));
+        let storage = used.into_storage();
+        let ptr = storage.as_ptr();
+        let recycled = FrameBuffer::recycled(res, storage);
+        assert_eq!(recycled, FrameBuffer::new(res));
+        assert_eq!(recycled.as_pixels().as_ptr(), ptr, "allocation reused");
+        // A smaller target resolution also reuses the allocation.
+        let shrunk = FrameBuffer::recycled(Resolution::new(2, 2), recycled.into_storage());
+        assert_eq!(shrunk, FrameBuffer::new(Resolution::new(2, 2)));
     }
 
     #[test]

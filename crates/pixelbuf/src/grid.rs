@@ -4,9 +4,18 @@
 //! (Fig. 6: > 40 ms at 720×1280, against a 16.67 ms frame budget at 60 Hz).
 //! The paper instead samples the *centre pixel of each cell* of a coarse
 //! grid laid over the screen and treats that pixel as representative of the
-//! cell. [`GridSampler`] precomputes those sample positions once, so a
-//! per-frame comparison is a tight gather-and-compare over a few thousand
-//! pixels.
+//! cell.
+//!
+//! [`GridSampler`] stores the sample positions as a **row-run layout**
+//! rather than a flat index list: the column centres decompose into a few
+//! maximal equal-stride runs (exactly one when the width divides evenly by
+//! the column count, as it does for every paper budget on the Galaxy S3),
+//! and every sampled row replays the same runs at its own base offset. A
+//! per-frame comparison is therefore a sequence of bounds-check-free
+//! slice-window sweeps instead of one bounds-checked random gather per
+//! point — and *dense* runs (stride 1, i.e. the full-resolution sampler
+//! and any budget that samples every column) compare two pixels per `u64`
+//! word and refresh the snapshot with a straight `memcpy`.
 
 use crate::buffer::FrameBuffer;
 use crate::damage::DamageRegion;
@@ -28,6 +37,144 @@ pub struct GridCompare {
     /// once, and the damage-restricted variant reads only the points
     /// inside the damage region.
     pub points_read: usize,
+}
+
+/// A maximal run of equally-spaced sample columns: `count` samples
+/// starting at screen column `first_x`, `stride` pixels apart.
+///
+/// The column centres `((2·gx + 1)·W) / (2·C)` are *not* globally
+/// equispaced when `W % C != 0` (consecutive strides alternate between
+/// ⌊W/C⌋ and ⌈W/C⌉), so a row decomposes into a handful of runs rather
+/// than always exactly one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ColRun {
+    first_x: u32,
+    stride: u32,
+    count: u32,
+}
+
+/// One column run projected onto a concrete sampled row: a window into
+/// the framebuffer's pixel slice plus the matching range of the
+/// row-major snapshot.
+#[derive(Debug, Clone, Copy)]
+struct RunSpan {
+    pixel_start: usize,
+    snap_start: usize,
+    stride: usize,
+    count: usize,
+}
+
+impl RunSpan {
+    /// The window of `pixels` spanned by this run, first sample to last
+    /// sample inclusive. Dense runs (stride 1) hold exactly the sampled
+    /// pixels; strided runs hold the sampled pixels at multiples of
+    /// `stride` from the window start.
+    fn window<'a>(&self, pixels: &'a [Pixel]) -> &'a [Pixel] {
+        let end = self.pixel_start + (self.count - 1) * self.stride + 1;
+        // ccdem-lint: allow(panic) — in-bounds by construction: every
+        // run's last sample is a cell centre inside the checked buffer.
+        &pixels[self.pixel_start..end]
+    }
+
+    /// This run's slots of the row-major snapshot.
+    fn snap<'a>(&self, snapshot: &'a [Pixel]) -> &'a [Pixel] {
+        // ccdem-lint: allow(panic) — snapshot length is checked against
+        // sample_count() before any span is formed.
+        &snapshot[self.snap_start..self.snap_start + self.count]
+    }
+
+    /// Mutable variant of [`snap`](Self::snap).
+    fn snap_mut<'a>(&self, snapshot: &'a mut [Pixel]) -> &'a mut [Pixel] {
+        // ccdem-lint: allow(panic) — see `snap`.
+        &mut snapshot[self.snap_start..self.snap_start + self.count]
+    }
+}
+
+/// Decomposes strictly increasing column centres into maximal
+/// equal-stride runs, greedily left to right.
+fn col_runs_of(col_xs: &[u32]) -> Vec<ColRun> {
+    let mut runs: Vec<ColRun> = Vec::new();
+    for &x in col_xs {
+        match runs.last_mut() {
+            // A lone trailing column adopts the next column's spacing.
+            Some(run) if run.count == 1 => {
+                run.stride = x - run.first_x;
+                run.count = 2;
+            }
+            Some(run) if x == run.first_x + run.stride * run.count => {
+                run.count += 1;
+            }
+            _ => runs.push(ColRun {
+                first_x: x,
+                stride: 1,
+                count: 1,
+            }),
+        }
+    }
+    runs
+}
+
+/// Packs two pixels into one comparison word: dense runs compare two
+/// pixels per `u64` instead of one at a time. Only equality is ever
+/// asked of the word, so byte order inside it is irrelevant.
+fn word(pair: &[Pixel]) -> u64 {
+    pair.iter()
+        .fold(0u64, |w, p| (w << 32) | u64::from(p.to_bits()))
+}
+
+/// Index of the first differing sample between a dense (stride-1) window
+/// and its snapshot slots. Compares two pixels per `u64` word via
+/// `chunks_exact(2)`, handles the odd-length tail scalar, and locates
+/// the exact first-differing pixel inside a mismatching word so early
+/// exit accounting is bit-identical to a scalar sweep.
+fn first_diff_dense(window: &[Pixel], prev: &[Pixel]) -> Option<usize> {
+    debug_assert_eq!(window.len(), prev.len());
+    if window == prev {
+        // Bulk equality is the common (redundant-frame) case and
+        // vectorizes to a plain memory compare.
+        return None;
+    }
+    let mut cur = window.chunks_exact(2);
+    let mut old = prev.chunks_exact(2);
+    let mut n = 0usize;
+    for (c, p) in cur.by_ref().zip(old.by_ref()) {
+        if word(c) != word(p) {
+            // If the words differ but their first pixels agree, the
+            // difference sits at the second pixel of the word.
+            return Some(n + usize::from(c.first() == p.first()));
+        }
+        n += 2;
+    }
+    cur.remainder()
+        .iter()
+        .zip(old.remainder())
+        .position(|(a, b)| a != b)
+        .map(|k| n + k)
+}
+
+/// Index of the first differing sample in a run window, dense or strided.
+fn first_diff(window: &[Pixel], stride: usize, prev: &[Pixel]) -> Option<usize> {
+    if stride == 1 {
+        first_diff_dense(window, prev)
+    } else {
+        window
+            .iter()
+            .step_by(stride)
+            .zip(prev)
+            .position(|(a, b)| a != b)
+    }
+}
+
+/// Copies a run's sampled pixels into `dst`: a `memcpy` for dense runs,
+/// a bounds-check-free strided sweep otherwise.
+fn capture_run(window: &[Pixel], stride: usize, dst: &mut [Pixel]) {
+    if stride == 1 {
+        dst.copy_from_slice(window);
+    } else {
+        for (slot, px) in dst.iter_mut().zip(window.iter().step_by(stride)) {
+            *slot = *px;
+        }
+    }
 }
 
 /// Precomputed sample positions for grid-based comparison.
@@ -55,7 +202,9 @@ pub struct GridSampler {
     resolution: Resolution,
     cols: u32,
     rows: u32,
-    indices: Vec<usize>,
+    /// Column sample positions decomposed into equal-stride runs; every
+    /// sampled row replays the same runs at its own base offset.
+    col_runs: Vec<ColRun>,
     /// Sample x-coordinate of each grid column, strictly increasing.
     col_xs: Vec<u32>,
     /// Sample y-coordinate of each grid row, strictly increasing.
@@ -75,7 +224,6 @@ impl GridSampler {
             cols <= resolution.width && rows <= resolution.height,
             "grid {cols}x{rows} exceeds resolution {resolution}"
         );
-        let w = resolution.width as usize;
         // Centre of each cell, in pixel coordinates. Both axes are
         // strictly increasing (the cell pitch is at least one pixel), so
         // damage rectangles map to grid index ranges by binary search.
@@ -85,17 +233,12 @@ impl GridSampler {
         let row_ys: Vec<u32> = (0..rows)
             .map(|gy| ((2 * gy + 1) * resolution.height) / (2 * rows))
             .collect();
-        let mut indices = Vec::with_capacity((cols as usize) * (rows as usize));
-        for &y in &row_ys {
-            for &x in &col_xs {
-                indices.push((y as usize) * w + x as usize);
-            }
-        }
+        let col_runs = col_runs_of(&col_xs);
         GridSampler {
             resolution,
             cols,
             rows,
-            indices,
+            col_runs,
             col_xs,
             row_ys,
         }
@@ -153,24 +296,54 @@ impl GridSampler {
 
     /// Number of pixels compared per frame.
     pub fn sample_count(&self) -> usize {
-        self.indices.len()
+        (self.cols as usize) * (self.rows as usize)
+    }
+
+    /// Every run of every sampled row, in snapshot (row-major) order.
+    fn run_spans(&self) -> impl Iterator<Item = RunSpan> + '_ {
+        let w = self.resolution.width as usize;
+        let cols = self.cols as usize;
+        let runs = &self.col_runs;
+        self.row_ys.iter().enumerate().flat_map(move |(gy, &y)| {
+            let row_base = (y as usize) * w;
+            let mut snap_off = gy * cols;
+            runs.iter().map(move |run| {
+                let span = RunSpan {
+                    pixel_start: row_base + run.first_x as usize,
+                    snap_start: snap_off,
+                    stride: run.stride as usize,
+                    count: run.count as usize,
+                };
+                snap_off += run.count as usize;
+                span
+            })
+        })
     }
 
     /// Gathers the sampled pixels of `buffer` into a new vector.
+    ///
+    /// **Allocation contract:** allocates a fresh vector on every call.
+    /// That is fine for tests and one-off setup, but never for per-frame
+    /// paths — hot callers hold a reusable scratch vector and call
+    /// [`sample_into`](Self::sample_into) instead.
     ///
     /// # Panics
     ///
     /// Panics if the buffer resolution does not match the sampler's.
     pub fn sample(&self, buffer: &FrameBuffer) -> Vec<Pixel> {
-        let mut out = vec![Pixel::TRANSPARENT; self.indices.len()];
+        let mut out = vec![Pixel::TRANSPARENT; self.sample_count()];
         self.sample_into(buffer, &mut out);
         out
     }
 
     /// Gathers the sampled pixels of `buffer` into `out`, resizing it to
-    /// [`sample_count`](Self::sample_count). Reusing `out` across frames
-    /// avoids per-frame allocation (this is the double-buffering "extra
-    /// buffer" of §3.1).
+    /// [`sample_count`](Self::sample_count). Every slot of `out` is
+    /// overwritten, so recycled storage needs no clearing first.
+    ///
+    /// **Allocation contract:** allocation-free once `out` has reached
+    /// capacity — reusing `out` across frames is the double-buffering
+    /// "extra buffer" of §3.1, and the only supported way to sample on a
+    /// hot path.
     ///
     /// # Panics
     ///
@@ -178,9 +351,9 @@ impl GridSampler {
     pub fn sample_into(&self, buffer: &FrameBuffer, out: &mut Vec<Pixel>) {
         self.check_buffer(buffer);
         let pixels = buffer.as_pixels();
-        out.resize(self.indices.len(), Pixel::TRANSPARENT);
-        for (dst, &i) in out.iter_mut().zip(&self.indices) {
-            *dst = pixels[i];
+        out.resize(self.sample_count(), Pixel::TRANSPARENT);
+        for span in self.run_spans() {
+            capture_run(span.window(pixels), span.stride, span.snap_mut(out));
         }
     }
 
@@ -203,7 +376,9 @@ impl GridSampler {
     ///
     /// A redundant frame inspects every point
     /// ([`sample_count`](Self::sample_count)); a changed frame stops at
-    /// the first differing point.
+    /// the first differing point. Dense runs compare two pixels per
+    /// `u64` word but still report the exact first-differing point, so
+    /// the accounting is bit-identical to a scalar sweep.
     ///
     /// # Panics
     ///
@@ -233,19 +408,20 @@ impl GridSampler {
     pub fn compare(&self, buffer: &FrameBuffer, previous: &[Pixel]) -> GridCompare {
         self.check_snapshot(buffer, previous);
         let pixels = buffer.as_pixels();
-        for (n, (&i, &prev)) in self.indices.iter().zip(previous).enumerate() {
-            if pixels[i] != prev {
+        for span in self.run_spans() {
+            if let Some(k) = first_diff(span.window(pixels), span.stride, span.snap(previous)) {
+                let n = span.snap_start + k + 1;
                 return GridCompare {
                     differs: true,
-                    points_compared: n + 1,
-                    points_read: n + 1,
+                    points_compared: n,
+                    points_read: n,
                 };
             }
         }
         GridCompare {
             differs: false,
-            points_compared: self.indices.len(),
-            points_read: self.indices.len(),
+            points_compared: self.sample_count(),
+            points_read: self.sample_count(),
         }
     }
 
@@ -260,7 +436,9 @@ impl GridSampler {
     /// Comparisons stop at the first difference (`points_compared`
     /// early-exits like `compare`), but every point is still read to keep
     /// the snapshot current, so `points_read` always equals
-    /// [`sample_count`](Self::sample_count).
+    /// [`sample_count`](Self::sample_count). Runs that compared equal are
+    /// not rewritten (the snapshot already holds exactly those values);
+    /// dense runs past the first difference refresh via `memcpy`.
     ///
     /// # Panics
     ///
@@ -275,18 +453,27 @@ impl GridSampler {
         let pixels = buffer.as_pixels();
         let mut differs = false;
         let mut points_compared = 0;
-        for (slot, &i) in snapshot.iter_mut().zip(&self.indices) {
-            let current = pixels[i];
-            if !differs {
-                points_compared += 1;
-                differs = current != *slot;
+        for span in self.run_spans() {
+            let window = span.window(pixels);
+            if differs {
+                capture_run(window, span.stride, span.snap_mut(snapshot));
+            } else {
+                match first_diff(window, span.stride, span.snap(snapshot)) {
+                    Some(k) => {
+                        differs = true;
+                        points_compared += k + 1;
+                        capture_run(window, span.stride, span.snap_mut(snapshot));
+                    }
+                    // No difference in this run ⇒ its snapshot slots
+                    // already hold exactly the sampled values.
+                    None => points_compared += span.count,
+                }
             }
-            *slot = current;
         }
         GridCompare {
             differs,
             points_compared,
-            points_read: self.indices.len(),
+            points_read: self.sample_count(),
         }
     }
 
@@ -300,7 +487,10 @@ impl GridSampler {
     /// are then unchanged, so skipping them cannot alter the verdict and
     /// the snapshot remains current everywhere. Per damage rectangle the
     /// intersecting grid rows/columns are found by binary search, so the
-    /// cost is O(points inside the damage), not O(grid).
+    /// cost is O(points inside the damage), not O(grid). When the damaged
+    /// columns are consecutive pixels (always true for the full-resolution
+    /// sampler), each damaged row compares as one dense window — two
+    /// pixels per word, `memcpy` refresh.
     ///
     /// # Panics
     ///
@@ -313,6 +503,8 @@ impl GridSampler {
     ) -> GridCompare {
         self.check_snapshot(buffer, snapshot);
         let pixels = buffer.as_pixels();
+        let w = self.resolution.width as usize;
+        let cols = self.cols as usize;
         let mut differs = false;
         let mut points_compared = 0;
         let mut points_read = 0;
@@ -321,17 +513,65 @@ impl GridSampler {
         for rect in damage.rects() {
             let (gx0, gx1) = Self::axis_range(&self.col_xs, rect.x, rect.right());
             let (gy0, gy1) = Self::axis_range(&self.row_ys, rect.y, rect.bottom());
-            for gy in gy0..gy1 {
-                let base = gy * self.cols as usize;
-                for gx in gx0..gx1 {
-                    let n = base + gx;
-                    let current = pixels[self.indices[n]];
-                    points_read += 1;
-                    if !differs {
-                        points_compared += 1;
-                        differs = current != snapshot[n];
+            let Some(xs) = self.col_xs.get(gx0..gx1) else {
+                continue;
+            };
+            let (Some(&first_x), Some(&last_x)) = (xs.first(), xs.last()) else {
+                continue; // no sampled column inside this rect
+            };
+            // Consecutive damaged columns form a dense window per row.
+            let dense = (last_x - first_x) as usize == xs.len() - 1;
+            for (gy, &y) in self.row_ys.iter().enumerate().take(gy1).skip(gy0) {
+                let row_start = (y as usize) * w + first_x as usize;
+                let row_end = (y as usize) * w + last_x as usize;
+                // ccdem-lint: allow(panic) — in-bounds: cell centres lie
+                // inside the checked buffer.
+                let window = &pixels[row_start..=row_end];
+                let snap_start = gy * cols + gx0;
+                // ccdem-lint: allow(panic) — snapshot length is checked
+                // against sample_count() and gx1 ≤ cols.
+                let snap = &mut snapshot[snap_start..snap_start + xs.len()];
+                points_read += xs.len();
+                if dense {
+                    if differs {
+                        snap.copy_from_slice(window);
+                    } else {
+                        match first_diff_dense(window, snap) {
+                            Some(k) => {
+                                differs = true;
+                                points_compared += k + 1;
+                                snap.copy_from_slice(window);
+                            }
+                            None => points_compared += xs.len(),
+                        }
                     }
-                    snapshot[n] = current;
+                } else {
+                    // Strided damaged columns: scalar sweep over the row
+                    // window at the columns' offsets from `first_x`.
+                    if differs {
+                        for (&x, slot) in xs.iter().zip(snap.iter_mut()) {
+                            // ccdem-lint: allow(panic) — x ∈ [first_x,
+                            // last_x] by construction of the axis range.
+                            *slot = window[(x - first_x) as usize];
+                        }
+                    } else {
+                        let hit = xs.iter().zip(snap.iter()).position(|(&x, s)| {
+                            // ccdem-lint: allow(panic) — same bound as
+                            // the capture sweep above.
+                            window[(x - first_x) as usize] != *s
+                        });
+                        match hit {
+                            Some(k) => {
+                                differs = true;
+                                points_compared += k + 1;
+                                for (&x, slot) in xs.iter().zip(snap.iter_mut()) {
+                                    // ccdem-lint: allow(panic) — see above.
+                                    *slot = window[(x - first_x) as usize];
+                                }
+                            }
+                            None => points_compared += xs.len(),
+                        }
+                    }
                 }
             }
         }
@@ -346,20 +586,25 @@ impl GridSampler {
     pub fn changed_points(&self, buffer: &FrameBuffer, previous: &[Pixel]) -> usize {
         self.check_snapshot(buffer, previous);
         let pixels = buffer.as_pixels();
-        self.indices
-            .iter()
-            .zip(previous)
-            .filter(|&(&i, &prev)| pixels[i] != prev)
-            .count()
+        self.run_spans()
+            .map(|span| {
+                span.window(pixels)
+                    .iter()
+                    .step_by(span.stride)
+                    .zip(span.snap(previous))
+                    .filter(|(a, b)| a != b)
+                    .count()
+            })
+            .sum()
     }
 
     /// The `(x, y)` screen position of each sample point, in grid order,
     /// without allocating.
     pub fn positions(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        let w = self.resolution.width as usize;
-        self.indices
+        let cols = &self.col_xs;
+        self.row_ys
             .iter()
-            .map(move |&i| ((i % w) as u32, (i / w) as u32))
+            .flat_map(move |&y| cols.iter().map(move |&x| (x, y)))
     }
 
     /// The half-open range of grid indices whose sample coordinate lies in
@@ -382,7 +627,7 @@ impl GridSampler {
         self.check_buffer(buffer);
         assert_eq!(
             snapshot.len(),
-            self.indices.len(),
+            self.sample_count(),
             "previous sample has wrong length"
         );
     }
@@ -419,6 +664,71 @@ mod tests {
     fn budget_9216_matches_paper_grid() {
         let g = GridSampler::for_pixel_budget(Resolution::GALAXY_S3, 9216);
         assert_eq!((g.cols(), g.rows()), (72, 128));
+    }
+
+    #[test]
+    fn column_runs_collapse_for_divisor_grids() {
+        // 720 divides evenly by every paper column count, so each row is
+        // exactly one equal-stride run.
+        let g = GridSampler::new(Resolution::GALAXY_S3, 36, 64);
+        assert_eq!(
+            g.col_runs,
+            vec![ColRun {
+                first_x: 10,
+                stride: 20,
+                count: 36
+            }]
+        );
+        // The full sampler is one dense run per row.
+        let full = GridSampler::full(Resolution::GALAXY_S3);
+        assert_eq!(
+            full.col_runs,
+            vec![ColRun {
+                first_x: 0,
+                stride: 1,
+                count: 720
+            }]
+        );
+    }
+
+    #[test]
+    fn column_runs_cover_non_divisor_grids_exactly() {
+        // 47 columns over 100 px: strides alternate between 2 and 3, so
+        // the decomposition must split — but replaying the runs must
+        // reproduce the exact centre list.
+        let g = GridSampler::new(Resolution::new(100, 10), 47, 5);
+        assert!(g.col_runs.len() > 1, "non-uniform strides must split");
+        let replayed: Vec<u32> = g
+            .col_runs
+            .iter()
+            .flat_map(|r| (0..r.count).map(move |k| r.first_x + k * r.stride))
+            .collect();
+        assert_eq!(replayed, g.col_xs);
+        assert_eq!(g.positions().count(), g.sample_count());
+    }
+
+    #[test]
+    fn dense_compare_locates_every_first_diff_exactly() {
+        // Odd width: every full-sampler row window has an odd tail after
+        // the two-pixel words, and diffs land on both word halves.
+        let res = Resolution::new(7, 3);
+        let g = GridSampler::full(res);
+        let fb = FrameBuffer::new(res);
+        let snap = g.sample(&fb);
+        for p in 0..g.sample_count() {
+            let (x, y) = ((p % 7) as u32, (p / 7) as u32);
+            let mut fb2 = fb.clone();
+            fb2.set_pixel(x, y, Pixel::WHITE);
+            let r = g.compare(&fb2, &snap);
+            assert!(r.differs);
+            assert_eq!(r.points_compared, p + 1, "first diff at point {p}");
+            assert_eq!(g.changed_points(&fb2, &snap), 1);
+            let mut captured = snap.clone();
+            let rc = g.compare_and_capture(&fb2, &mut captured);
+            assert_eq!(rc.points_compared, p + 1, "fused diff at point {p}");
+            assert_eq!(rc.points_read, g.sample_count());
+            assert_eq!(captured, g.sample(&fb2), "snapshot current after {p}");
+        }
     }
 
     #[test]
@@ -588,6 +898,24 @@ mod tests {
         assert_eq!(full.differs, restricted.differs);
         assert!(restricted.points_read < g.sample_count());
         assert_eq!(snap_full, snap_damaged);
+    }
+
+    #[test]
+    fn damaged_capture_dense_rows_match_strided_reference() {
+        // A full sampler sees every damaged column as one dense row
+        // window; a 47-column sampler over the same screen sees strided,
+        // split runs. Both must agree with the from-scratch sample.
+        let res = Resolution::new(100, 40);
+        for g in [GridSampler::full(res), GridSampler::new(res, 47, 13)] {
+            let mut fb = FrameBuffer::new(res);
+            let mut snap = g.sample(&fb);
+            fb.fill_rect(Rect::new(13, 7, 61, 19), Pixel::grey(99));
+            let damage = fb.take_damage();
+            let r = g.compare_and_capture_damaged(&fb, &damage, &mut snap);
+            assert!(r.differs);
+            assert_eq!(snap, g.sample(&fb), "snapshot current ({}x{})", g.cols(), g.rows());
+            assert!(r.points_compared <= r.points_read);
+        }
     }
 
     #[test]

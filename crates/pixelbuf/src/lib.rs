@@ -14,6 +14,8 @@
 //! * [`grid`] — grid-based sparse comparison (paper §3.1, "grid-based
 //!   comparison"), including the exact Galaxy S3 grid configurations of
 //!   Fig. 6.
+//! * [`pool`] — recycled pixel storage, the allocation-free steady state
+//!   of repeated scenario runs.
 //! * [`diff`] — exhaustive ground-truth comparison.
 //! * [`draw`] — drawing primitives for the synthetic workloads.
 //! * [`ppm`] — one-call PPM dumps of framebuffers for debugging.
@@ -49,6 +51,7 @@ pub mod draw;
 pub mod geometry;
 pub mod grid;
 pub mod pixel;
+pub mod pool;
 pub mod ppm;
 
 pub use buffer::FrameBuffer;
@@ -57,3 +60,4 @@ pub use double_buffer::DoubleBuffer;
 pub use geometry::{Rect, Resolution};
 pub use grid::GridSampler;
 pub use pixel::{Pixel, PixelFormat};
+pub use pool::PixelPool;

@@ -5,8 +5,22 @@ use ccdem_pixelbuf::diff::{buffers_equal, changed_pixel_count};
 use ccdem_pixelbuf::double_buffer::DoubleBuffer;
 use ccdem_pixelbuf::geometry::{Rect, Resolution};
 use ccdem_pixelbuf::grid::GridSampler;
-use ccdem_pixelbuf::pixel::Pixel;
+use ccdem_pixelbuf::pixel::{Pixel, PixelFormat};
 use proptest::prelude::*;
+
+/// Scalar per-point reference for the grid compare: walk every sampled
+/// position in row-major order against the snapshot, exactly like the
+/// pre-row-run loop, returning `(differs, points_compared)`.
+fn scalar_compare(g: &GridSampler, fb: &FrameBuffer, snap: &[Pixel]) -> (bool, usize) {
+    let mut compared = 0;
+    for ((x, y), &s) in g.positions().zip(snap.iter()) {
+        compared += 1;
+        if fb.pixel(x, y) != s {
+            return (true, compared);
+        }
+    }
+    (false, compared)
+}
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
     (0u32..150, 0u32..150, 0u32..150, 0u32..150).prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
@@ -238,6 +252,122 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The row-run compare (dense two-pixels-per-word path plus strided
+    /// runs) agrees with the scalar per-point reference on arbitrary
+    /// buffers: same verdict, same `points_compared`, and the fused
+    /// variant leaves the snapshot exactly as a fresh sample would. Odd
+    /// widths exercise the `chunks_exact` tails.
+    #[test]
+    fn row_run_compare_matches_scalar_reference(
+        w in 3u32..37,
+        h in 3u32..19,
+        budget in 1usize..600,
+        before in proptest::collection::vec(arb_draw_op(), 1..8),
+        after in proptest::collection::vec(arb_draw_op(), 0..8),
+    ) {
+        let res = Resolution::new(w, h);
+        for g in [GridSampler::for_pixel_budget(res, budget), GridSampler::full(res)] {
+            let mut fb = FrameBuffer::new(res);
+            for &op in &before {
+                apply(op, &mut fb);
+            }
+            let snap = g.sample(&fb);
+            for &op in &after {
+                apply(op, &mut fb);
+            }
+
+            let (expect_differs, expect_compared) = scalar_compare(&g, &fb, &snap);
+            let got = g.compare(&fb, &snap);
+            prop_assert_eq!(got.differs, expect_differs);
+            prop_assert_eq!(got.points_compared, expect_compared);
+
+            let mut fused = snap.clone();
+            let r = g.compare_and_capture(&fb, &mut fused);
+            prop_assert_eq!(r.differs, expect_differs);
+            prop_assert_eq!(r.points_compared, expect_compared);
+            prop_assert_eq!(r.points_read, g.sample_count());
+            let fresh: Vec<Pixel> = g.positions().map(|(x, y)| fb.pixel(x, y)).collect();
+            prop_assert_eq!(fused, fresh);
+        }
+    }
+
+    /// Flipping exactly one sampled point makes every compare variant
+    /// locate it exactly: `points_compared == index + 1` for any index,
+    /// including ones landing mid-word or in a `chunks_exact` remainder.
+    #[test]
+    fn row_run_compare_locates_single_flips_exactly(
+        w in 3u32..37,
+        h in 3u32..19,
+        budget in 1usize..600,
+        base in proptest::collection::vec(arb_draw_op(), 0..6),
+        slot in 0usize..1_000_000,
+    ) {
+        let res = Resolution::new(w, h);
+        for g in [GridSampler::for_pixel_budget(res, budget), GridSampler::full(res)] {
+            let mut fb = FrameBuffer::new(res);
+            for &op in &base {
+                apply(op, &mut fb);
+            }
+            let snap = g.sample(&fb);
+            let idx = slot % g.sample_count();
+            let (px, py) = g.positions().nth(idx).expect("index in range");
+            let old = fb.pixel(px, py);
+            fb.set_pixel(px, py, Pixel::rgba(old.red() ^ 0x80, old.green(), old.blue(), old.alpha()));
+
+            let got = g.compare(&fb, &snap);
+            prop_assert!(got.differs);
+            prop_assert_eq!(got.points_compared, idx + 1);
+
+            let mut fused = snap.clone();
+            let r = g.compare_and_capture(&fb, &mut fused);
+            prop_assert!(r.differs);
+            prop_assert_eq!(r.points_compared, idx + 1);
+            prop_assert_eq!(fused.get(idx).copied(), Some(fb.pixel(px, py)));
+        }
+    }
+
+    /// The row-slice blits (`copy_rect_from`, `blend_rect_from`) match a
+    /// per-pixel reference built from `pixel`/`set_pixel`, across clipped
+    /// rects, both destination formats, and both opaque and translucent
+    /// sources.
+    #[test]
+    fn row_blits_match_per_pixel_reference(
+        rect in arb_rect(),
+        src_grey in any::<u8>(),
+        src_alpha in any::<u8>(),
+        dst_grey in any::<u8>(),
+        dst_565 in any::<bool>(),
+        blend in any::<bool>(),
+        patch in arb_rect(),
+        patch_grey in any::<u8>(),
+    ) {
+        let res = Resolution::new(21, 13);
+        let mut src = FrameBuffer::new(res);
+        src.fill(Pixel::rgba(src_grey, src_grey.wrapping_add(31), src_grey, src_alpha));
+        src.fill_rect(patch, Pixel::rgba(patch_grey, patch_grey, patch_grey.wrapping_mul(3), src_alpha ^ 0x55));
+        let format = if dst_565 { PixelFormat::Rgb565 } else { PixelFormat::Rgba8888 };
+        let mut dst = FrameBuffer::with_format(res, format);
+        dst.fill(Pixel::grey(dst_grey));
+        let mut reference = dst.clone();
+
+        if blend {
+            dst.blend_rect_from(&src, rect);
+        } else {
+            dst.copy_rect_from(&src, rect);
+        }
+
+        if let Some(r) = rect.clipped_to(res) {
+            for y in r.y..r.bottom() {
+                for x in r.x..r.right() {
+                    let s = src.pixel(x, y);
+                    let v = if blend { s.over(reference.pixel(x, y)) } else { s };
+                    reference.set_pixel(x, y, v);
+                }
+            }
+        }
+        prop_assert!(buffers_equal(&dst, &reference));
     }
 
     /// Pixel channel round trip through the packed word.

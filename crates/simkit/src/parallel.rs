@@ -123,10 +123,43 @@ impl ParallelRunner {
         R: Send,
         F: Fn(usize, T) -> R + Sync,
     {
+        self.run_many_with(items, || (), |(), i, t| f(i, t))
+    }
+
+    /// [`run_many`](Self::run_many) with **per-worker scratch state**:
+    /// each worker lazily builds one `S` via `init` the first time it
+    /// picks up work, then passes `&mut` of that same state to every
+    /// `f(state, index, item)` it executes. With one worker (or one
+    /// item), a single state serves all items on the calling thread in
+    /// input order.
+    ///
+    /// This is how sweeps reuse expensive per-run scratch (framebuffers,
+    /// snapshots) without allocating per item. Determinism is preserved
+    /// as long as `f`'s *result* does not depend on the incoming state —
+    /// i.e. the scratch is reset before use, which `RunScratch` consumers
+    /// guarantee. Which items share a state *is* scheduling-dependent;
+    /// results must not be.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `init` or `f` (after all
+    /// workers stop).
+    pub fn run_many_with<S, T, R, I, F>(&self, items: Vec<T>, init: I, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, T) -> R + Sync,
+    {
         let n = items.len();
         let jobs = self.jobs.min(n).max(1);
         if jobs == 1 {
-            return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            let mut state = init();
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| f(&mut state, i, t))
+                .collect();
         }
 
         // Chunks of roughly a quarter of a fair share: large enough that
@@ -139,22 +172,27 @@ impl ParallelRunner {
 
         std::thread::scope(|scope| {
             for _ in 0..jobs {
-                scope.spawn(|| loop {
-                    let batch: Vec<(usize, T)> = {
-                        // ccdem-lint: allow(panic) — poisoned lock means a
-                        // worker already panicked; re-raising is correct
-                        let mut q = queue.lock().expect("queue poisoned");
-                        let take = chunk.min(q.len());
-                        if take == 0 {
-                            break;
+                scope.spawn(|| {
+                    // Built on first use so workers that never win a
+                    // batch never pay for a state.
+                    let mut state: Option<S> = None;
+                    loop {
+                        let batch: Vec<(usize, T)> = {
+                            // ccdem-lint: allow(panic) — poisoned lock means a
+                            // worker already panicked; re-raising is correct
+                            let mut q = queue.lock().expect("queue poisoned");
+                            let take = chunk.min(q.len());
+                            if take == 0 {
+                                break;
+                            }
+                            q.drain(..take).collect()
+                        };
+                        for (index, item) in batch {
+                            let result = f(state.get_or_insert_with(&init), index, item);
+                            // ccdem-lint: allow(panic) — poison re-raises a
+                            // worker panic; `index` < `n` by construction
+                            results.lock().expect("results poisoned")[index] = Some(result);
                         }
-                        q.drain(..take).collect()
-                    };
-                    for (index, item) in batch {
-                        let result = f(index, item);
-                        // ccdem-lint: allow(panic) — poison re-raises a
-                        // worker panic; `index` < `n` by construction
-                        results.lock().expect("results poisoned")[index] = Some(result);
                     }
                 });
             }
@@ -243,6 +281,53 @@ mod tests {
             ids.lock().unwrap().len() > 1,
             "expected more than one worker thread"
         );
+    }
+
+    #[test]
+    fn run_many_with_builds_at_most_one_state_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let out = ParallelRunner::new(4).run_many_with(
+            (0u64..64).collect(),
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64 // per-worker accumulator
+            },
+            |acc, _, x| {
+                *acc += x;
+                x * 2
+            },
+        );
+        assert_eq!(out, (0u64..64).map(|x| x * 2).collect::<Vec<_>>());
+        let states = inits.load(Ordering::Relaxed);
+        assert!(
+            (1..=4).contains(&states),
+            "lazy init must cap states at the worker count, got {states}"
+        );
+    }
+
+    #[test]
+    fn run_many_with_serial_shares_one_state_in_order() {
+        let out = ParallelRunner::new(1).run_many_with(
+            vec![3u64, 1, 4],
+            Vec::new,
+            |seen: &mut Vec<u64>, i, x| {
+                seen.push(x);
+                // The serial path must visit items in input order on one
+                // shared state.
+                assert_eq!(seen.len(), i + 1);
+                seen.iter().sum::<u64>()
+            },
+        );
+        assert_eq!(out, vec![3, 4, 8]);
+    }
+
+    #[test]
+    fn run_many_with_matches_run_many_when_state_is_unused() {
+        let work = |i: usize, x: u64| derive_seed(x, i as u64);
+        let items: Vec<u64> = (0..100).map(|i| i * 3).collect();
+        let plain = ParallelRunner::new(4).run_many(items.clone(), work);
+        let with = ParallelRunner::new(4).run_many_with(items, || (), |(), i, x| work(i, x));
+        assert_eq!(plain, with);
     }
 
     #[test]

@@ -1,19 +1,42 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_PR3.json — the tracked performance baseline for the
-# damage-aware metering fast path. Run from the repo root.
+# Regenerates BENCH_PR5.json — the tracked performance report for the
+# row-run metering engine — or compares two existing reports. Run from
+# the repo root.
 #
 #   scripts/bench.sh           full run: 200 timed frames per case plus
-#                              the 30 s end-to-end sweep wall clock
+#                              the 30 s end-to-end sweep wall clock;
+#                              checked against the committed
+#                              BENCH_PR3.json baseline before exiting
 #   scripts/bench.sh --quick   CI smoke: 10 frames, no sweep; the exact
 #                              points-read columns are identical, only
-#                              the timings get noisier
+#                              the timings get noisier (no baseline
+#                              check — quick timings are too coarse)
+#   scripts/bench.sh --compare A.json B.json
+#                              print the per-(budget, case) delta table
+#                              between two reports (A = baseline, B =
+#                              new) without measuring anything
 #
-# Extra arguments are passed through to `ccdem bench` (e.g.
+# Other arguments are passed through to `ccdem bench` (e.g.
 # `--out somewhere-else.json`, `--iterations 500`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=BENCH_PR3.json
+if [[ "${1:-}" == "--compare" ]]; then
+    if [[ $# -ne 3 ]]; then
+        echo "usage: scripts/bench.sh --compare <baseline.json> <new.json>" >&2
+        exit 1
+    fi
+    cargo build --release -q
+    cargo run --release -q --bin ccdem -- bench --compare "$3" --baseline "$2"
+    exit 0
+fi
+
+out=BENCH_PR5.json
+baseline=BENCH_PR3.json
 cargo build --release -q
 cargo run --release -q --bin ccdem -- bench --out "$out" "$@"
-cargo run --release -q --bin ccdem -- bench --check "$out"
+if [[ " $* " == *" --quick "* ]]; then
+    cargo run --release -q --bin ccdem -- bench --check "$out"
+else
+    cargo run --release -q --bin ccdem -- bench --check "$out" --baseline "$baseline"
+fi

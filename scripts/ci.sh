@@ -14,6 +14,12 @@ cargo test -q --test trace_jsonl
 # on malformed or regressed output).
 cargo run --release -q --bin ccdem -- bench --quick --out target/bench_smoke.json
 cargo run --release -q --bin ccdem -- bench --check target/bench_smoke.json
+# PR 5 speedup gate on the two *committed* reports (deterministic: no
+# fresh measurement involved): the row-run engine must halve full_change
+# at the full grid and not regress redundant/small_damage.
+cargo run --release -q --bin ccdem -- bench --check BENCH_PR5.json --baseline BENCH_PR3.json
+# Compare-table smoke via the shell wrapper (exercises --compare).
+scripts/bench.sh --compare BENCH_PR3.json BENCH_PR5.json
 # Workspace static analysis (hard gate): determinism, panic-policy,
 # obs-taxonomy, and section-table invariants — see DESIGN.md §10.
 cargo run --release -q --bin ccdem -- lint --json

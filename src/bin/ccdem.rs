@@ -89,10 +89,12 @@ fn print_usage() {
          report [--duration <secs>] [--seed <n>] [--jobs <n>] [--obs summary|none]\n                                \
          print Figs. 9-11 and Table 1 from the sweep\n  \
          bench [--out <file.json>] [--iterations <n>] [--quick] [--no-sweep]\n        \
-         [--check <file.json>]\n                                \
-         measure the metering fast path at the paper's five pixel\n                                \
-         budgets and write BENCH_PR3.json; --check validates an\n                                \
-         existing report instead of measuring\n  \
+         [--check <file.json> [--baseline <file.json>]]\n        \
+         [--compare <file.json> --baseline <file.json>]\n                                \
+         measure the metering cost at the paper's five pixel\n                                \
+         budgets and write BENCH_PR5.json; --check validates an\n                                \
+         existing report (plus the speedup gate when --baseline\n                                \
+         is given); --compare prints a baseline-vs-new delta table\n  \
          lint [--json] [--fix-baseline]\n                                \
          run the workspace static-analysis pass (DESIGN.md \u{a7}10);\n                                \
          --json emits obs-envelope JSON lines, --fix-baseline\n                                \
@@ -356,22 +358,64 @@ fn cmd_sweep(args: &[String], full_report: bool) -> ExitCode {
 fn cmd_bench(args: &[String]) -> ExitCode {
     let flags = parse_or_fail!(
         args,
-        &["--out", "--iterations", "--check"],
+        &["--out", "--iterations", "--check", "--compare", "--baseline"],
         &["--quick", "--no-sweep"]
     );
 
-    // --check validates an existing report instead of measuring.
-    if let Some(path) = flags.value("--check") {
-        let document = match std::fs::read_to_string(path) {
-            Ok(document) => document,
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(document) => Some(document),
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            None
+        }
+    };
+
+    // --compare prints a baseline-vs-new delta table; no gate.
+    if let Some(path) = flags.value("--compare") {
+        let Some(baseline_path) = flags.value("--baseline") else {
+            eprintln!("--compare requires --baseline <file.json>");
+            return ExitCode::FAILURE;
+        };
+        let (Some(new), Some(baseline)) = (read(path), read(baseline_path)) else {
+            return ExitCode::FAILURE;
+        };
+        return match ccdem::experiments::perfcmp::compare(&new, &baseline) {
+            Ok(comparison) => {
+                println!("{comparison}");
+                ExitCode::SUCCESS
+            }
             Err(e) => {
-                eprintln!("failed to read {path}: {e}");
-                return ExitCode::FAILURE;
+                eprintln!("{e}");
+                ExitCode::FAILURE
             }
         };
+    }
+
+    // --check validates an existing report instead of measuring; with
+    // --baseline it additionally enforces the PR 5 speedup gate.
+    if let Some(path) = flags.value("--check") {
+        let Some(document) = read(path) else {
+            return ExitCode::FAILURE;
+        };
+        if let Some(baseline_path) = flags.value("--baseline") {
+            let Some(baseline) = read(baseline_path) else {
+                return ExitCode::FAILURE;
+            };
+            return match ccdem::experiments::perfcmp::check(&document, &baseline) {
+                Ok(comparison) => {
+                    println!("{comparison}");
+                    println!("{path}: speedup gate passed against {baseline_path}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         return match ccdem::experiments::perf::validate(&document) {
             Ok(()) => {
-                println!("{path}: valid PR 3 benchmark report");
+                println!("{path}: valid benchmark report");
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -410,6 +454,11 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     );
     let report = ccdem::experiments::perf::run(&config);
     println!("{report}");
+    if config.sweep_secs > 0 {
+        // Scratch-reuse readout: same batch fresh vs reused (console
+        // only; the JSON schema carries the budget/case table).
+        println!("{}", ccdem::experiments::perf_sweep::run(8, 5));
+    }
     if let Some(path) = flags.value("--out") {
         let document = report.to_json();
         if let Err(e) = ccdem::experiments::perf::validate(&document) {
