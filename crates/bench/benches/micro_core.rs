@@ -82,6 +82,23 @@ fn bench_meter_observe(c: &mut Criterion) {
             meter.observe(&fb, SimTime::from_micros(t))
         });
     });
+
+    // Full-screen fill at the full 921 600-px grid: every tile is
+    // provably solid after the fill, so the tile-gated gather compares
+    // snapshot slots against constants and refreshes them without
+    // reading the framebuffer at all (DESIGN.md §12).
+    group.bench_function("full_change_full_grid", |b| {
+        let mut meter = ContentRateMeter::new(GridSampler::full(res));
+        let mut fb = FrameBuffer::new(res);
+        let mut t = 0u64;
+        let mut grey = 0u8;
+        b.iter(|| {
+            t += 16_667;
+            grey = grey.wrapping_add(1);
+            fb.fill(Pixel::grey(grey.max(1)));
+            meter.observe(&fb, SimTime::from_micros(t))
+        });
+    });
     group.finish();
 }
 

@@ -575,6 +575,63 @@ mod tests {
     }
 
     #[test]
+    fn compose_propagates_tile_signatures() {
+        use ccdem_pixelbuf::geometry::Rect;
+        // The compositor's blits maintain the framebuffer's per-tile
+        // content signatures for free: opaque copies inherit the source
+        // surface's provable solidity, translucent blends degrade the
+        // blended tiles to unknown.
+        let res = Resolution::new(128, 128); // 2×2 tiles
+        let mut sf = SurfaceFlinger::new(res);
+        let base = sf.create_surface("base");
+        sf.surface_mut(base).unwrap().buffer_mut().fill(Pixel::grey(30));
+        sf.submit(base, SimTime::ZERO, true).unwrap();
+        sf.compose(SimTime::ZERO);
+        let tiles = sf.framebuffer().tiles();
+        for ty in 0..2 {
+            for tx in 0..2 {
+                assert_eq!(
+                    tiles.tile(tx, ty).solid,
+                    Some(Pixel::grey(30)),
+                    "tile ({tx},{ty}) after opaque full-screen compose"
+                );
+            }
+        }
+
+        // A translucent overlay over the top-left tile degrades exactly
+        // the blended tile; the copied tiles stay provably solid.
+        let overlay = sf.create_surface("overlay");
+        {
+            let s = sf.surface_mut(overlay).unwrap();
+            s.set_bounds(Rect::new(0, 0, 64, 64));
+            s.set_opaque(false);
+            s.set_z_order(1);
+            s.buffer_mut().fill(Pixel::rgba(255, 255, 255, 128));
+        }
+        sf.submit(overlay, SimTime::from_millis(16), true).unwrap();
+        sf.compose(SimTime::from_millis(16));
+        let tiles = sf.framebuffer().tiles();
+        assert_eq!(tiles.tile(0, 0).solid, None, "blended tile is unknown");
+        for (tx, ty) in [(1, 0), (0, 1), (1, 1)] {
+            assert_eq!(tiles.tile(tx, ty).solid, Some(Pixel::grey(30)));
+        }
+
+        // Incremental compose: a draw confined to the bottom-right tile
+        // recomposes only that region, and the tile-covering copy
+        // inherits the surface tile's new solid colour.
+        sf.surface_mut(base)
+            .unwrap()
+            .buffer_mut()
+            .fill_rect(Rect::new(64, 64, 64, 64), Pixel::grey(55));
+        sf.submit(base, SimTime::from_millis(33), true).unwrap();
+        sf.compose(SimTime::from_millis(33));
+        let tiles = sf.framebuffer().tiles();
+        assert_eq!(tiles.tile(1, 1).solid, Some(Pixel::grey(55)));
+        assert_eq!(tiles.tile(1, 0).solid, Some(Pixel::grey(30)));
+        assert_eq!(tiles.tile(0, 0).solid, None);
+    }
+
+    #[test]
     fn vsync_caps_frame_rate_at_refresh_rate() {
         // 60 submissions in one second, composed on 20 Hz edges -> 20
         // composed frames. This is the V-Sync feedback the paper's

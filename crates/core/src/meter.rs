@@ -18,12 +18,19 @@
 //!    is Redundant with *zero* pixel reads. Under CCDEM redundant frames
 //!    dominate, so this inverts the cost profile — pre-optimisation a
 //!    redundant frame was the *worst* case (full scan, no early exit).
-//! 2. **Damage-restricted** ([`observe_damaged`](ContentRateMeter::observe_damaged)):
-//!    only grid points inside the caller-supplied damage region are read;
-//!    points outside cannot have changed.
-//! 3. **Fused full scan**: one gather compares and refreshes the snapshot
-//!    together ([`GridSampler::compare_and_capture`]), where the naive
-//!    path gathered every grid index twice (compare, then re-sample).
+//! 2. **Tile-gated, damage-restricted**
+//!    ([`observe_damaged`](ContentRateMeter::observe_damaged)): the
+//!    framebuffer's per-tile content signatures are consulted first
+//!    ([`GridSampler::compare_and_capture_tiled`]); tiles unwritten
+//!    since the last observation are skipped, provably-solid tiles are
+//!    compared against their constant colour with zero framebuffer
+//!    reads, and only unknown-content tiles descend to pixel compares —
+//!    all restricted to the caller-supplied damage region, so both
+//!    pruning mechanisms compose. Signatures gate descent only, never
+//!    equality (DESIGN.md §12).
+//! 3. **Tile-gated full scan**: without damage information the same
+//!    tile-gated walk runs over the whole screen, which still resolves
+//!    full-screen fills and unwritten regions without pixel reads.
 //!
 //! All paths maintain the same invariant — after every observation the
 //! snapshot equals the framebuffer at every grid point — so they produce
@@ -88,6 +95,8 @@ struct MeterMetrics {
     fast_path: Arc<Counter>,
     points_read: Arc<Counter>,
     points_skipped: Arc<Counter>,
+    tiles_checked: Arc<Counter>,
+    tiles_descended: Arc<Counter>,
     diff_us: Arc<AtomicHistogram>,
 }
 
@@ -101,6 +110,8 @@ impl MeterMetrics {
             fast_path: registry.counter("meter.fast_path"),
             points_read: registry.counter("meter.points_read"),
             points_skipped: registry.counter("meter.points_skipped"),
+            tiles_checked: registry.counter("meter.tiles_checked"),
+            tiles_descended: registry.counter("meter.tiles_descended"),
             diff_us: registry.histogram("meter.diff_us", 0.0, 1_000.0, 20),
         }
     }
@@ -145,6 +156,8 @@ pub struct ContentRateMeter {
     points_compared_total: u64,
     points_read_total: u64,
     points_skipped_total: u64,
+    tiles_checked_total: u64,
+    tiles_descended_total: u64,
     obs: Obs,
     metrics: MeterMetrics,
 }
@@ -168,6 +181,8 @@ impl ContentRateMeter {
             points_compared_total: 0,
             points_read_total: 0,
             points_skipped_total: 0,
+            tiles_checked_total: 0,
+            tiles_descended_total: 0,
             obs: Obs::disabled(),
             metrics: MeterMetrics::from_registry(),
         }
@@ -274,35 +289,52 @@ impl ContentRateMeter {
         self.frames.record(now);
         let started = Instant::now(); // ccdem-lint: allow(determinism) — telemetry only
         let grid_px = self.sampler.sample_count();
-        // (class, points compared, points read, O(1) fast path taken)
-        let (class, compared, read, fast) = if self.naive {
+        // (class, points compared, points read, O(1) fast path taken,
+        //  tiles checked, tiles descended)
+        let (class, compared, read, fast, t_checked, t_descended) = if self.naive {
             self.observe_naive(framebuffer)
         } else if !self.primed {
             // Baseline capture: one full gather, no comparison.
             self.primed = true;
             self.sampler.sample_into(framebuffer, &mut self.snapshot);
-            (FrameClass::Meaningful, 0, grid_px, false)
+            (FrameClass::Meaningful, 0, grid_px, false, 0, 0)
         } else if framebuffer.content_generation() == self.last_content_generation {
             // O(1): no draw op ran since the last capture, so no pixel —
             // sampled or not — can have changed.
-            (FrameClass::Redundant, 0, 0, true)
+            (FrameClass::Redundant, 0, 0, true, 0, 0)
         } else {
-            let result = match damage {
-                Some(damage) => self.sampler.compare_and_capture_damaged(
-                    framebuffer,
-                    damage,
-                    &mut self.snapshot,
-                ),
-                None => self
-                    .sampler
-                    .compare_and_capture(framebuffer, &mut self.snapshot),
+            // Tile-gated descent, restricted to the caller's damage when
+            // available and to the whole screen otherwise. The snapshot
+            // is current as of `last_content_generation` (every path
+            // re-captures on every observation), which is exactly the
+            // currency contract `compare_and_capture_tiled` requires.
+            let full_bounds;
+            let damage = match damage {
+                Some(damage) => damage,
+                None => {
+                    full_bounds = DamageRegion::of(self.sampler.resolution().bounds());
+                    &full_bounds
+                }
             };
-            let class = if result.differs {
+            let result = self.sampler.compare_and_capture_tiled(
+                framebuffer,
+                damage,
+                self.last_content_generation,
+                &mut self.snapshot,
+            );
+            let class = if result.grid.differs {
                 FrameClass::Meaningful
             } else {
                 FrameClass::Redundant
             };
-            (class, result.points_compared, result.points_read, false)
+            (
+                class,
+                result.grid.points_compared,
+                result.grid.points_read,
+                false,
+                result.tiles_checked,
+                result.tiles_descended,
+            )
         };
         self.last_content_generation = framebuffer.content_generation();
         let skipped = grid_px.saturating_sub(read);
@@ -310,6 +342,8 @@ impl ContentRateMeter {
         self.points_compared_total += compared as u64;
         self.points_read_total += read as u64;
         self.points_skipped_total += skipped as u64;
+        self.tiles_checked_total += t_checked as u64;
+        self.tiles_descended_total += t_descended as u64;
         let diff_us = started.elapsed().as_secs_f64() * 1e6;
         if class.is_meaningful() {
             self.meaningful.record(now);
@@ -323,6 +357,8 @@ impl ContentRateMeter {
         }
         self.metrics.points_read.add(read as u64);
         self.metrics.points_skipped.add(skipped as u64);
+        self.metrics.tiles_checked.add(t_checked as u64);
+        self.metrics.tiles_descended.add(t_descended as u64);
         self.metrics.diff_us.record(diff_us);
         self.obs.emit("meter.frame", now, |event| {
             event
@@ -331,6 +367,8 @@ impl ContentRateMeter {
                 .field("compared_px", compared)
                 .field("read_px", read)
                 .field("skipped_px", skipped)
+                .field("tiles_checked", t_checked)
+                .field("tiles_descended", t_descended)
                 .field("fast_path", fast)
                 .field("diff_us", diff_us);
         });
@@ -339,8 +377,12 @@ impl ContentRateMeter {
 
     /// The pre-optimisation reference step: full compare, then a second
     /// full gather into the ping-pong back buffer. Returns the same
-    /// `(class, compared, read, fast)` tuple as the fast paths.
-    fn observe_naive(&mut self, framebuffer: &FrameBuffer) -> (FrameClass, usize, usize, bool) {
+    /// `(class, compared, read, fast, tiles_checked, tiles_descended)`
+    /// tuple as the fast paths (the naive path never consults tiles).
+    fn observe_naive(
+        &mut self,
+        framebuffer: &FrameBuffer,
+    ) -> (FrameClass, usize, usize, bool, usize, usize) {
         let grid_px = self.sampler.sample_count();
         let (class, compared, compare_reads) = if !self.primed {
             self.primed = true;
@@ -357,7 +399,7 @@ impl ContentRateMeter {
         // Capture into the back snapshot, then promote it (ping-pong).
         self.sampler.sample_into(framebuffer, &mut self.naive_back);
         std::mem::swap(&mut self.snapshot, &mut self.naive_back);
-        (class, compared, compare_reads + grid_px, false)
+        (class, compared, compare_reads + grid_px, false, 0, 0)
     }
 
     /// Content rate measured over the window `[now - window, now)`.
@@ -428,9 +470,10 @@ impl ContentRateMeter {
 
     /// Total framebuffer pixels read across all observations — the
     /// deterministic metering-cost measure the fast paths minimise. The
-    /// naive path reads up to `2 × sample_count` per frame; the fused
-    /// path exactly `sample_count`; the damage-restricted path only the
-    /// damaged points; the O(1) path zero.
+    /// naive path reads up to `2 × sample_count` per frame; the
+    /// tile-gated paths only the damaged points under unknown-content
+    /// tiles (clean and provably-solid tiles are resolved without
+    /// reads); the O(1) path zero.
     pub fn points_read(&self) -> u64 {
         self.points_read_total
     }
@@ -439,6 +482,19 @@ impl ContentRateMeter {
     /// (`sample_count` per frame), summed across observations.
     pub fn points_skipped(&self) -> u64 {
         self.points_skipped_total
+    }
+
+    /// Total tile signatures examined by the tile-gated descent across
+    /// all observations.
+    pub fn tiles_checked(&self) -> u64 {
+        self.tiles_checked_total
+    }
+
+    /// Total checked tiles whose stamp forced a descent (written since
+    /// the previous observation). `tiles_checked - tiles_descended` is
+    /// the pruning the signatures bought on top of the damage region.
+    pub fn tiles_descended(&self) -> u64 {
+        self.tiles_descended_total
     }
 }
 
@@ -609,7 +665,8 @@ mod tests {
         assert_eq!(m.points_skipped(), grid);
 
         // Small damage: reads exactly the damaged subset. The 20×20 rect
-        // at (10,10) covers the 2×2 block of sample points {15, 25}².
+        // at (10,10) covers the 2×2 block of sample points {15, 25}²,
+        // all inside one partially-written (unknown-content) tile.
         fb.fill_rect(Rect::new(10, 10, 20, 20), Pixel::WHITE);
         let damage = fb.take_damage();
         assert_eq!(
@@ -618,14 +675,20 @@ mod tests {
         );
         assert_eq!(m.points_read(), grid + 4);
         assert_eq!(m.points_skipped(), grid + (grid - 4));
+        assert_eq!((m.tiles_checked(), m.tiles_descended()), (1, 1));
 
-        // Full-grid fused scan when no damage information is available.
+        // Full-screen fill without damage information: every tile is
+        // provably solid, so the tile-gated scan classifies and
+        // refreshes the snapshot with zero framebuffer reads.
         fb.fill(Pixel::grey(70));
         assert_eq!(
             m.observe(&fb, SimTime::from_millis(50)),
             FrameClass::Meaningful
         );
-        assert_eq!(m.points_read(), grid + 4 + grid);
+        assert_eq!(m.points_read(), grid + 4, "solid tiles read nothing");
+        // 100×100 is a 2×2 tile grid; the 10 sampled rows span both tile
+        // rows, and each tile-row group checks (and descends) 2 tiles.
+        assert_eq!((m.tiles_checked(), m.tiles_descended()), (1 + 4, 1 + 4));
 
         // The naive reference path reads every point twice per frame.
         let mut naive = ContentRateMeter::new(GridSampler::new(res, 10, 10));

@@ -194,11 +194,16 @@ proptest! {
             let damage = fb.take_damage();
             let t = SimTime::from_micros((i as u64 + 1) * 16_667);
             let read_before = fast.points_read();
+            let checked_before = fast.tiles_checked();
             let fast_class = fast.observe_damaged(&fb, &damage, t);
             if matches!(op, FrameOp::Touch) {
                 prop_assert_eq!(
                     fast.points_read(), read_before,
                     "touch-only frame read pixels"
+                );
+                prop_assert_eq!(
+                    fast.tiles_checked(), checked_before,
+                    "touch-only frame consulted tile signatures"
                 );
             }
             let naive_class = naive.observe(&fb, t);
@@ -219,6 +224,10 @@ proptest! {
         // asserted deterministically in the meter's unit tests and by
         // `perf::validate` on the benchmark report.
         prop_assert!(fast.points_read() <= naive.points_read());
+        // Tile accounting: only checked tiles descend, and the naive
+        // reference never consults a signature.
+        prop_assert!(fast.tiles_descended() <= fast.tiles_checked());
+        prop_assert_eq!(naive.tiles_checked(), 0);
     }
 
     /// Content-rate arithmetic: subtraction saturates, addition is exact.

@@ -1,5 +1,5 @@
-//! The metering micro-benchmark behind the committed `BENCH_PR3.json`
-//! and `BENCH_PR5.json` reports.
+//! The metering micro-benchmark behind the committed `BENCH_PR3.json`,
+//! `BENCH_PR5.json` and `BENCH_PR6.json` reports.
 //!
 //! Benchmarks the per-frame metering cost at the paper's five pixel
 //! budgets (Fig. 6's x-axis) across the frame shapes the fast path
@@ -9,9 +9,12 @@
 //!   (`touch`-only); the fused meter classifies in O(1) without reading
 //!   a single pixel;
 //! * **small_damage** — a status-bar-sized rectangle changed; the meter
-//!   gathers only grid points inside the damage region;
-//! * **full_change** — every pixel changed; one fused gather over the
-//!   whole grid (still half the reads of the old compare-then-capture);
+//!   gathers only grid points inside the damage region whose tile
+//!   signatures force a descent;
+//! * **full_change** — every pixel changed via `fill`; the tile
+//!   signatures resolve every tile to a known solid colour, so the
+//!   gather compares against constants and refreshes the snapshot
+//!   without reading the framebuffer at all;
 //! * **naive_redundant** — the pre-fast-path reference on the redundant
 //!   frame: a full compare pass plus a full capture pass.
 //!
@@ -20,7 +23,7 @@
 //! headline claim — a ≥2× reduction in pixels read per redundant frame —
 //! is checked from the counters, not the clock. [`validate`] re-parses a
 //! written report and enforces that claim, which is how CI keeps the
-//! committed `BENCH_PR3.json` honest.
+//! committed reports honest.
 
 use std::fmt;
 use std::time::Instant;
@@ -40,13 +43,17 @@ use crate::sweep::{self, SweepConfig};
 /// The benchmark's frame shapes, in report order.
 pub const CASES: [&str; 4] = ["redundant", "small_damage", "full_change", "naive_redundant"];
 
-/// The `"bench"` marker newly generated reports carry (the PR 5 row-run
-/// metering engine produced them).
-pub const MARKER: &str = "ccdem-pr5-row-run-metering";
+/// The `"bench"` marker newly generated reports carry (the PR 6
+/// tile-signature metering engine produced them).
+pub const MARKER: &str = "ccdem-pr6-tile-signature-metering";
+
+/// The marker of the committed PR 5 baseline report (row-run metering,
+/// pre tile gating). [`perfcmp::check`](crate::perfcmp::check) keys its
+/// speedup target on this marker.
+pub const MARKER_PR5: &str = "ccdem-pr5-row-run-metering";
 
 /// The marker of the committed PR 3 baseline report. [`validate`]
-/// accepts both generations so `BENCH_PR3.json` stays checkable as the
-/// comparison baseline.
+/// accepts all generations so the committed baselines stay checkable.
 pub const MARKER_PR3: &str = "ccdem-pr3-metering-fast-path";
 
 /// Configuration for the PR 3 benchmark.
@@ -114,7 +121,7 @@ impl BudgetResult {
     }
 }
 
-/// The full benchmark report, serializable as `BENCH_PR3.json`.
+/// The full benchmark report, serializable as `BENCH_PR6.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
     /// Frames timed per case.
@@ -232,7 +239,7 @@ fn bench_case(
 }
 
 impl PerfReport {
-    /// Serializes the report as the `BENCH_PR3.json` document.
+    /// Serializes the report as the `BENCH_PR6.json` document.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(2048);
         out.push_str(&format!("{{\n  \"bench\": \"{MARKER}\",\n"));
@@ -272,7 +279,7 @@ impl fmt::Display for PerfReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "PR 3 metering fast path: cost per frame by shape ({} frames per case)",
+            "Metering cost per frame by shape ({} frames per case)",
             self.frames
         )?;
         let mut t = TextTable::new([
@@ -302,14 +309,14 @@ impl fmt::Display for PerfReport {
     }
 }
 
-/// Validates a benchmark report document (`BENCH_PR3.json` or
-/// `BENCH_PR5.json`; both [`MARKER`] generations are accepted):
-/// well-formed JSON, all five paper budgets present with every case
-/// measured, and the PR 3 headline criterion — each budget's fast
-/// redundant path reads at most half the pixels of the naive redundant
-/// path. The PR 5 *timing* criteria (row-run speedup over the committed
-/// baseline) live in [`crate::perfcmp::check`], which compares two
-/// reports.
+/// Validates a benchmark report document (`BENCH_PR3.json`,
+/// `BENCH_PR5.json` or `BENCH_PR6.json`; all [`MARKER`] generations are
+/// accepted): well-formed JSON, all five paper budgets present with
+/// every case measured, and the PR 3 headline criterion — each budget's
+/// fast redundant path reads at most half the pixels of the naive
+/// redundant path. The *timing* criteria (speedup over the committed
+/// baseline, keyed on the baseline's marker generation) live in
+/// [`crate::perfcmp::check`], which compares two reports.
 ///
 /// # Errors
 ///
@@ -317,7 +324,7 @@ impl fmt::Display for PerfReport {
 pub fn validate(document: &str) -> Result<(), String> {
     let doc = json::parse(document)?;
     let marker = doc.get("bench").and_then(Json::as_str);
-    if marker != Some(MARKER) && marker != Some(MARKER_PR3) {
+    if marker != Some(MARKER) && marker != Some(MARKER_PR5) && marker != Some(MARKER_PR3) {
         return Err("missing or wrong \"bench\" marker".into());
     }
     let Some(Json::Arr(budgets)) = doc.get("budgets") else {
@@ -416,17 +423,27 @@ mod tests {
     }
 
     #[test]
-    fn small_damage_reads_strict_subset() {
+    fn tile_signatures_bound_framebuffer_reads() {
         for b in &quick().budgets {
             let damaged = b.case("small_damage").unwrap().points_read_per_frame;
             let full = b.case("full_change").unwrap().points_read_per_frame;
             assert!(damaged >= 1.0, "patch must cover at least one grid point");
+            // The patch straddles tile boundaries, so the damaged path
+            // still descends — but into far fewer points than the grid.
             assert!(
-                damaged < full,
-                "budget {}: damaged path read {damaged} of {full} points",
+                damaged < b.pixels as f64,
+                "budget {}: damaged path read {damaged} of {} points",
+                b.pixels,
                 b.pixels
             );
-            assert_eq!(full, b.pixels as f64);
+            // A full-screen fill leaves every tile provably solid: the
+            // gather compares against the known colour and refreshes the
+            // snapshot without touching the framebuffer.
+            assert_eq!(
+                full, 0.0,
+                "budget {}: solid tiles must satisfy a full fill read-free",
+                b.pixels
+            );
         }
     }
 
@@ -466,11 +483,14 @@ mod tests {
     }
 
     #[test]
-    fn both_marker_generations_validate() {
+    fn all_marker_generations_validate() {
         let good = quick().to_json();
         assert!(good.contains(MARKER));
-        let pr3 = good.replace(MARKER, MARKER_PR3);
-        validate(&pr3).expect("the PR 3 baseline marker must stay accepted");
+        for (name, marker) in [("PR 5", MARKER_PR5), ("PR 3", MARKER_PR3)] {
+            let doc = good.replace(MARKER, marker);
+            validate(&doc)
+                .unwrap_or_else(|e| panic!("the {name} baseline marker must stay accepted: {e}"));
+        }
     }
 
     #[test]

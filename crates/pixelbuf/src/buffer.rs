@@ -3,6 +3,7 @@
 use crate::damage::DamageRegion;
 use crate::geometry::{Rect, Resolution};
 use crate::pixel::{Pixel, PixelFormat};
+use crate::tile::TileMap;
 
 /// A software framebuffer: a dense row-major grid of [`Pixel`]s with two
 /// monotonically increasing generation counters and a damage region.
@@ -20,6 +21,11 @@ use crate::pixel::{Pixel, PixelFormat};
 /// The damage region accumulates until [`take_damage`](Self::take_damage)
 /// is called; a pixel outside every accumulated rect is guaranteed to
 /// hold the same value it had at the last take.
+///
+/// Alongside the damage region, every draw op also maintains a
+/// [`TileMap`] of per-tile content signatures (stamp + provable solid
+/// colour) inside the same row walks — see [`tiles`](Self::tiles) and
+/// the [`tile`](crate::tile) module.
 ///
 /// # Examples
 ///
@@ -45,6 +51,7 @@ pub struct FrameBuffer {
     generation: u64,
     content_generation: u64,
     damage: DamageRegion,
+    tiles: TileMap,
 }
 
 impl FrameBuffer {
@@ -62,6 +69,7 @@ impl FrameBuffer {
             generation: 0,
             content_generation: 0,
             damage: DamageRegion::new(),
+            tiles: TileMap::new(resolution),
         }
     }
 
@@ -81,6 +89,7 @@ impl FrameBuffer {
             generation: 0,
             content_generation: 0,
             damage: DamageRegion::new(),
+            tiles: TileMap::new(resolution),
         }
     }
 
@@ -111,6 +120,14 @@ impl FrameBuffer {
     /// content-rate meter's O(1) redundant-frame fast path.
     pub fn content_generation(&self) -> u64 {
         self.content_generation
+    }
+
+    /// The per-tile content signatures, updated by every draw op. Tiles
+    /// whose `stamp` is at most an observer's last seen content
+    /// generation are provably unchanged since that observation; tiles
+    /// with a `solid` colour are provably that exact colour everywhere.
+    pub fn tiles(&self) -> &TileMap {
+        &self.tiles
     }
 
     /// The damage accumulated since the last
@@ -168,15 +185,16 @@ impl FrameBuffer {
             self.resolution
         );
         let i = self.index(x, y);
-        self.pixels[i] = self.format.quantize(p);
-        self.mark(Rect::new(x, y, 1, 1));
+        let q = self.format.quantize(p);
+        self.pixels[i] = q;
+        self.mark(Rect::new(x, y, 1, 1), Some(q));
     }
 
     /// Fills the whole buffer with one colour.
     pub fn fill(&mut self, p: Pixel) {
         let q = self.format.quantize(p);
         self.pixels.fill(q);
-        self.mark(self.resolution.bounds());
+        self.mark(self.resolution.bounds(), Some(q));
     }
 
     /// Fills `rect` (clipped to the screen) with one colour. A fully
@@ -191,7 +209,7 @@ impl FrameBuffer {
                 self.pixels[row..row + r.width as usize].fill(q);
             }
         }
-        self.mark(clipped.unwrap_or_default());
+        self.mark(clipped.unwrap_or_default(), Some(q));
     }
 
     /// Copies the entirety of `src` into this buffer.
@@ -211,7 +229,7 @@ impl FrameBuffer {
                 *dst = self.format.quantize(s);
             }
         }
-        self.mark(self.resolution.bounds());
+        self.mark_copied(self.resolution.bounds(), src);
     }
 
     /// Copies `rect` (clipped) from `src` into the same position here.
@@ -242,7 +260,7 @@ impl FrameBuffer {
                 }
             }
         }
-        self.mark(clipped.unwrap_or_default());
+        self.mark_copied(clipped.unwrap_or_default(), src);
     }
 
     /// Alpha-blends `rect` (clipped) of `src` over the same position here,
@@ -272,7 +290,9 @@ impl FrameBuffer {
                 }
             }
         }
-        self.mark(clipped.unwrap_or_default());
+        // Blend results depend on prior destination pixels, so the tiles
+        // degrade to unknown content.
+        self.mark(clipped.unwrap_or_default(), None);
     }
 
     /// Shifts the buffer contents up by `dy` pixels (a scroll), filling the
@@ -288,11 +308,14 @@ impl FrameBuffer {
         let q = self.format.quantize(fill);
         let start = ((h - dy) as usize) * w;
         self.pixels[start..].fill(q);
-        self.mark(if dy > 0 {
-            self.resolution.bounds()
+        if dy >= h {
+            // The whole screen is the fill colour: a provably solid write.
+            self.mark(self.resolution.bounds(), Some(q));
+        } else if dy > 0 {
+            self.mark(self.resolution.bounds(), None);
         } else {
-            Rect::default()
-        });
+            self.mark(Rect::default(), None);
+        }
     }
 
     /// A read-only view of all pixels in row-major order.
@@ -316,15 +339,39 @@ impl FrameBuffer {
     }
 
     /// Records one completed write batch: the write generation always
-    /// bumps (the hardware write happened), while the content generation
-    /// and damage only advance when pixels may actually have changed —
-    /// i.e. when the written region is non-empty. A fully clipped-out
-    /// draw call therefore counts as a write but not as content.
-    fn mark(&mut self, written: Rect) {
+    /// bumps (the hardware write happened), while the content generation,
+    /// damage, and tile signatures only advance when pixels may actually
+    /// have changed — i.e. when the written region is non-empty. A fully
+    /// clipped-out draw call therefore counts as a write but not as
+    /// content. `solid` is `Some(q)` when the batch stored the exact
+    /// value `q` (already format-quantized) at every written pixel.
+    fn mark(&mut self, written: Rect, solid: Option<Pixel>) {
         self.generation += 1;
         if !written.is_empty() {
             self.content_generation += 1;
             self.damage.add(written);
+            self.tiles.stamp_rect(written, self.content_generation, solid);
+        }
+    }
+
+    /// [`mark`](Self::mark) variant for whole-region copies from `src`:
+    /// the tile signatures inherit the source tiles' solidity (quantized
+    /// when the formats differ) instead of degrading to unknown.
+    fn mark_copied(&mut self, written: Rect, src: &FrameBuffer) {
+        self.generation += 1;
+        if !written.is_empty() {
+            self.content_generation += 1;
+            self.damage.add(written);
+            let convert = self.format != src.format;
+            let format = self.format;
+            self.tiles
+                .inherit_rect(written, self.content_generation, &src.tiles, |c| {
+                    if convert {
+                        format.quantize(c)
+                    } else {
+                        c
+                    }
+                });
         }
     }
 }
@@ -501,6 +548,116 @@ mod tests {
         // A smaller target resolution also reuses the allocation.
         let shrunk = FrameBuffer::recycled(Resolution::new(2, 2), recycled.into_storage());
         assert_eq!(shrunk, FrameBuffer::new(Resolution::new(2, 2)));
+    }
+
+    #[test]
+    fn draw_ops_maintain_tile_signatures() {
+        let res = Resolution::new(128, 128); // 2×2 tiles
+        let mut fb = FrameBuffer::new(res);
+        assert_eq!(fb.tiles().tile(0, 0).solid, Some(Pixel::BLACK));
+
+        fb.fill(Pixel::grey(40));
+        assert_eq!(fb.tiles().tile(1, 1).solid, Some(Pixel::grey(40)));
+        assert_eq!(fb.tiles().tile(1, 1).stamp, fb.content_generation());
+
+        // Partial fill of one tile degrades only that tile.
+        fb.fill_rect(Rect::new(10, 10, 8, 8), Pixel::WHITE);
+        assert_eq!(fb.tiles().tile(0, 0).solid, None);
+        assert_eq!(fb.tiles().tile(1, 0).solid, Some(Pixel::grey(40)));
+
+        // A tile-covering fill restores solidity for covered tiles.
+        fb.fill_rect(Rect::new(0, 0, 64, 64), Pixel::grey(80));
+        assert_eq!(fb.tiles().tile(0, 0).solid, Some(Pixel::grey(80)));
+
+        fb.set_pixel(100, 100, Pixel::WHITE);
+        assert_eq!(fb.tiles().tile(1, 1).solid, None);
+
+        fb.scroll_up(3, Pixel::BLACK);
+        for ty in 0..2 {
+            for tx in 0..2 {
+                assert_eq!(fb.tiles().tile(tx, ty).solid, None);
+                assert_eq!(fb.tiles().tile(tx, ty).stamp, fb.content_generation());
+            }
+        }
+        // Scrolling the full height is just a fill: provably solid again.
+        fb.scroll_up(200, Pixel::grey(7));
+        assert_eq!(fb.tiles().tile(0, 1).solid, Some(Pixel::grey(7)));
+    }
+
+    #[test]
+    fn copies_inherit_tile_signatures() {
+        let res = Resolution::new(128, 64); // 2×1 tiles
+        let mut src = FrameBuffer::new(res);
+        src.fill_rect(Rect::new(0, 0, 64, 64), Pixel::grey(200));
+        src.fill_rect(Rect::new(70, 3, 4, 4), Pixel::WHITE);
+        assert_eq!(src.tiles().tile(0, 0).solid, Some(Pixel::grey(200)));
+        assert_eq!(src.tiles().tile(1, 0).solid, None);
+
+        let mut dst = FrameBuffer::new(res);
+        dst.copy_from(&src);
+        assert_eq!(dst.tiles().tile(0, 0).solid, Some(Pixel::grey(200)));
+        assert_eq!(dst.tiles().tile(1, 0).solid, None);
+        assert_eq!(dst.tiles().tile(0, 0).stamp, dst.content_generation());
+
+        // A rect copy covering one tile inherits just that tile; a
+        // partial copy degrades to unknown.
+        let mut patch = FrameBuffer::new(res);
+        patch.copy_rect_from(&src, Rect::new(0, 0, 64, 64));
+        assert_eq!(patch.tiles().tile(0, 0).solid, Some(Pixel::grey(200)));
+        patch.copy_rect_from(&src, Rect::new(64, 0, 10, 10));
+        assert_eq!(patch.tiles().tile(1, 0).solid, None);
+
+        // Format conversion quantizes the inherited solid colour.
+        let mut lo = FrameBuffer::with_format(res, PixelFormat::Rgb565);
+        let mut bright = FrameBuffer::new(res);
+        bright.fill(Pixel::rgb(201, 117, 33));
+        lo.copy_from(&bright);
+        assert_eq!(
+            lo.tiles().tile(0, 0).solid,
+            Some(PixelFormat::Rgb565.quantize(Pixel::rgb(201, 117, 33)))
+        );
+        assert_eq!(lo.tiles().tile(0, 0).solid, Some(lo.pixel(0, 0)));
+    }
+
+    #[test]
+    fn blends_degrade_tile_signatures() {
+        let res = Resolution::new(64, 64);
+        let mut overlay = FrameBuffer::new(res);
+        overlay.fill(Pixel::rgba(255, 255, 255, 128));
+        let mut fb = FrameBuffer::new(res);
+        fb.fill(Pixel::grey(10));
+        assert!(fb.tiles().tile(0, 0).solid.is_some());
+        fb.blend_rect_from(&overlay, res.bounds());
+        assert_eq!(fb.tiles().tile(0, 0).solid, None);
+        assert_eq!(fb.tiles().tile(0, 0).stamp, fb.content_generation());
+    }
+
+    #[test]
+    fn solid_tiles_are_truthful() {
+        // Whenever a tile claims a solid colour, every pixel in it holds
+        // exactly that value — spot-checked over a mixed op sequence.
+        let res = Resolution::new(100, 70); // uneven edge tiles
+        let mut fb = FrameBuffer::new(res);
+        fb.fill(Pixel::grey(33));
+        fb.fill_rect(Rect::new(60, 10, 30, 30), Pixel::WHITE);
+        fb.set_pixel(5, 5, Pixel::grey(1));
+        fb.fill_rect(Rect::new(64, 64, 100, 100), Pixel::grey(9));
+        let tiles = fb.tiles();
+        let mut solid_seen = 0;
+        for ty in 0..tiles.rows() {
+            for tx in 0..tiles.cols() {
+                if let Some(c) = tiles.tile(tx, ty).solid {
+                    solid_seen += 1;
+                    let r = tiles.tile_rect(tx, ty);
+                    for y in r.y..r.bottom() {
+                        for x in r.x..r.right() {
+                            assert_eq!(fb.pixel(x, y), c, "tile ({tx},{ty}) at ({x},{y})");
+                        }
+                    }
+                }
+            }
+        }
+        assert!(solid_seen > 0, "expected at least one solid tile");
     }
 
     #[test]

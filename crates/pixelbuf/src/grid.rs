@@ -21,6 +21,7 @@ use crate::buffer::FrameBuffer;
 use crate::damage::DamageRegion;
 use crate::geometry::Resolution;
 use crate::pixel::Pixel;
+use crate::tile::{TileMap, TILE_SIZE};
 
 /// Outcome of one grid comparison: the verdict plus how much work it took.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +38,48 @@ pub struct GridCompare {
     /// once, and the damage-restricted variant reads only the points
     /// inside the damage region.
     pub points_read: usize,
+}
+
+/// Outcome of a tile-gated comparison
+/// ([`GridSampler::compare_and_capture_tiled`]): the grid verdict and
+/// accounting plus how far the tile signatures pruned the descent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileCompare {
+    /// The verdict and accounting. `differs` and `points_compared` are
+    /// bit-identical to what
+    /// [`GridSampler::compare_and_capture_damaged`] reports for the same
+    /// inputs; `points_read` counts only the framebuffer pixels actually
+    /// read, which the clean- and solid-tile paths avoid entirely.
+    pub grid: GridCompare,
+    /// Tiles whose signature was examined (per damage rect and tile-row
+    /// group, so a tile revisited for another rect counts again).
+    pub tiles_checked: usize,
+    /// Checked tiles whose stamp forced a descent (written since the
+    /// last observation).
+    pub tiles_descended: usize,
+}
+
+/// How a tile's signature resolves for one observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TileKind {
+    /// Stamp at most the last observed content generation: the tile's
+    /// pixels are unchanged since the snapshot was captured.
+    Clean,
+    /// Written since, but provably this exact colour everywhere.
+    Solid(Pixel),
+    /// Written since, content unknown: descend to pixel compares.
+    Unknown,
+}
+
+fn tile_kind(tiles: &TileMap, tx: u32, ty: u32, last_content_generation: u64) -> TileKind {
+    let t = tiles.tile(tx, ty);
+    if t.stamp <= last_content_generation {
+        TileKind::Clean
+    } else if let Some(c) = t.solid {
+        TileKind::Solid(c)
+    } else {
+        TileKind::Unknown
+    }
 }
 
 /// A maximal run of equally-spaced sample columns: `count` samples
@@ -256,17 +299,24 @@ impl GridSampler {
     /// For the Galaxy S3 (720×1280) the paper's budgets map to:
     /// 2304 → 36×64, 9216 → 72×128, 36864 → 144×256.
     ///
-    /// # Panics
-    ///
-    /// Panics if `budget` is zero.
+    /// Degenerate inputs are handled exactly rather than panicking: a
+    /// zero budget yields the minimal 1×1 sampler (one centre point), a
+    /// budget of at least the pixel count yields the full-resolution
+    /// sampler, and single-row / single-column screens get `budget`
+    /// samples along their one axis.
     pub fn for_pixel_budget(resolution: Resolution, budget: usize) -> GridSampler {
-        assert!(budget > 0, "pixel budget must be non-zero");
         if budget >= resolution.pixel_count() {
             return GridSampler::full(resolution);
         }
+        // Even a zero budget needs a usable sampler: one centre point.
+        let budget = budget.max(1);
         let aspect = f64::from(resolution.width) / f64::from(resolution.height);
+        // Capping cols at the budget makes extreme aspect ratios exact
+        // (a 1-pixel-tall screen gets `budget`×1) and guarantees the
+        // rounding guard below can never underflow cols past 1.
         let mut cols = ((budget as f64 * aspect).sqrt().floor() as u32)
-            .clamp(1, resolution.width);
+            .clamp(1, resolution.width)
+            .min(budget.min(resolution.width as usize) as u32);
         let mut rows = ((budget / cols as usize) as u32).clamp(1, resolution.height);
         // Guard rounding: never exceed the budget.
         while (cols as usize) * (rows as usize) > budget {
@@ -579,6 +629,231 @@ impl GridSampler {
             differs,
             points_compared,
             points_read,
+        }
+    }
+
+    /// Tile-gated [`compare_and_capture_damaged`][ccd]: consults the
+    /// buffer's per-tile content signatures before touching pixels, so
+    /// tiles unwritten since the last observation are skipped outright
+    /// and provably-solid tiles are compared against their constant
+    /// colour with **zero framebuffer reads** (the snapshot refresh is a
+    /// `fill`, not a gather). Only tiles with unknown content descend to
+    /// the PR 5 row-window pixel path. Both pruning mechanisms compose:
+    /// the walk covers the intersection of the damage region with the
+    /// dirty tiles.
+    ///
+    /// Signatures gate *descent only*, never equality: `differs`,
+    /// `points_compared` (including the early-exit point), and the
+    /// refreshed snapshot bytes are bit-identical to
+    /// [`compare_and_capture_damaged`][ccd] on the same inputs. A stale
+    /// or overly pessimistic signature can only cost an extra descent.
+    /// Internally the per-rect walk is segment-major (each tile-row
+    /// group classifies its tile columns once), so the row-major
+    /// early-exit point is recovered as the lexicographically smallest
+    /// `(row, column)` difference across segments — comparisons have no
+    /// side effects, which makes the reordering observationally
+    /// invisible.
+    ///
+    /// **Soundness contract:** in addition to the damage contract of
+    /// [`compare_and_capture_damaged`][ccd], `snapshot` must be current
+    /// as of `last_content_generation` — every grid point equal to the
+    /// buffer's pixel as it stood at that content generation. The meter
+    /// maintains exactly this by capturing on every observation; tiles
+    /// stamped at or before that generation are then both unchanged and
+    /// already correctly snapshotted.
+    ///
+    /// [ccd]: Self::compare_and_capture_damaged
+    ///
+    /// # Panics
+    ///
+    /// Panics if resolutions mismatch or `snapshot` has the wrong length.
+    pub fn compare_and_capture_tiled(
+        &self,
+        buffer: &FrameBuffer,
+        damage: &DamageRegion,
+        last_content_generation: u64,
+        snapshot: &mut [Pixel],
+    ) -> TileCompare {
+        self.check_snapshot(buffer, snapshot);
+        let pixels = buffer.as_pixels();
+        let tiles = buffer.tiles();
+        let w = self.resolution.width as usize;
+        let cols = self.cols as usize;
+        let mut differs = false;
+        let mut points_compared = 0;
+        let mut points_read = 0;
+        let mut tiles_checked = 0;
+        let mut tiles_descended = 0;
+        for rect in damage.rects() {
+            let (gx0, gx1) = Self::axis_range(&self.col_xs, rect.x, rect.right());
+            let (gy0, gy1) = Self::axis_range(&self.row_ys, rect.y, rect.bottom());
+            let Some(xs) = self.col_xs.get(gx0..gx1) else {
+                continue;
+            };
+            if xs.is_empty() || gy0 >= gy1 {
+                continue; // no sampled point inside this rect
+            }
+            let n_cols = xs.len();
+            // The row-major first differing point of this rect as
+            // (row offset within [gy0, gy1), column offset within xs) —
+            // the lexicographic minimum over all segment candidates,
+            // from which the early-exit accounting is reconstructed.
+            let mut first: Option<(usize, usize)> = None;
+            // Group consecutive grid rows sharing a tile row, so each
+            // tile column is classified once per group, not per row.
+            let mut g = gy0;
+            while g < gy1 {
+                // ccdem-lint: allow(panic) — g < gy1 ≤ row_ys.len() by
+                // construction of the axis range.
+                let ty = self.row_ys[g] / TILE_SIZE;
+                let mut g_end = g + 1;
+                // ccdem-lint: allow(panic) — same bound as above.
+                while g_end < gy1 && self.row_ys[g_end] / TILE_SIZE == ty {
+                    g_end += 1;
+                }
+                // Walk the sampled columns, coalescing runs of same-kind
+                // tiles into segments handled in one sweep each.
+                let mut s0 = 0usize;
+                while s0 < n_cols {
+                    // ccdem-lint: allow(panic) — s0 < n_cols = xs.len().
+                    let mut last_tx = xs[s0] / TILE_SIZE;
+                    let kind = tile_kind(tiles, last_tx, ty, last_content_generation);
+                    let mut seg_tiles = 1usize;
+                    let mut s1 = s0 + 1;
+                    while s1 < n_cols {
+                        // ccdem-lint: allow(panic) — s1 < n_cols.
+                        let tx = xs[s1] / TILE_SIZE;
+                        if tx != last_tx {
+                            if tile_kind(tiles, tx, ty, last_content_generation) != kind {
+                                break;
+                            }
+                            seg_tiles += 1;
+                            last_tx = tx;
+                        }
+                        s1 += 1;
+                    }
+                    tiles_checked += seg_tiles;
+                    match kind {
+                        TileKind::Clean => {
+                            // Unwritten since the last observation: the
+                            // pixels are unchanged and the snapshot is
+                            // still current here, so the (equal) outcome
+                            // is known without reading or writing.
+                        }
+                        TileKind::Solid(c) => {
+                            tiles_descended += seg_tiles;
+                            // Every framebuffer pixel under this segment
+                            // provably holds `c`: compare the snapshot
+                            // slots against the constant and refresh
+                            // with a fill — zero framebuffer reads.
+                            for gy in g..g_end {
+                                let snap_start = gy * cols + gx0 + s0;
+                                // ccdem-lint: allow(panic) — snapshot
+                                // length is checked against
+                                // sample_count() and gx0 + s1 ≤ cols.
+                                let snap =
+                                    &mut snapshot[snap_start..snap_start + (s1 - s0)];
+                                if !differs && first.is_none_or(|(r, _)| gy - gy0 < r) {
+                                    if let Some(k) = snap.iter().position(|&s| s != c) {
+                                        first = Some((gy - gy0, s0 + k));
+                                        snap.fill(c);
+                                    }
+                                    // Equal: the slots already hold `c`.
+                                } else {
+                                    snap.fill(c);
+                                }
+                            }
+                        }
+                        TileKind::Unknown => {
+                            tiles_descended += seg_tiles;
+                            // Unknown content: descend to the row-window
+                            // pixel path over this segment's columns.
+                            let seg_xs = &xs[s0..s1];
+                            let (Some(&first_x), Some(&last_x)) =
+                                (seg_xs.first(), seg_xs.last())
+                            else {
+                                unreachable!("segments are non-empty");
+                            };
+                            let dense = (last_x - first_x) as usize == seg_xs.len() - 1;
+                            for (gy, &y) in
+                                self.row_ys.iter().enumerate().take(g_end).skip(g)
+                            {
+                                let row_start = (y as usize) * w + first_x as usize;
+                                let row_end = (y as usize) * w + last_x as usize;
+                                // ccdem-lint: allow(panic) — in-bounds:
+                                // cell centres lie inside the buffer.
+                                let window = &pixels[row_start..=row_end];
+                                let snap_start = gy * cols + gx0 + s0;
+                                // ccdem-lint: allow(panic) — see the
+                                // solid-segment bound above.
+                                let snap =
+                                    &mut snapshot[snap_start..snap_start + seg_xs.len()];
+                                points_read += seg_xs.len();
+                                let live =
+                                    !differs && first.is_none_or(|(r, _)| gy - gy0 < r);
+                                if dense {
+                                    if live {
+                                        if let Some(k) = first_diff_dense(window, snap) {
+                                            first = Some((gy - gy0, s0 + k));
+                                            snap.copy_from_slice(window);
+                                        }
+                                        // Equal runs are not rewritten.
+                                    } else {
+                                        snap.copy_from_slice(window);
+                                    }
+                                } else if live {
+                                    let hit = seg_xs.iter().zip(snap.iter()).position(
+                                        |(&x, s)| {
+                                            // ccdem-lint: allow(panic) — x ∈
+                                            // [first_x, last_x] by
+                                            // construction.
+                                            window[(x - first_x) as usize] != *s
+                                        },
+                                    );
+                                    if let Some(k) = hit {
+                                        first = Some((gy - gy0, s0 + k));
+                                        for (&x, slot) in seg_xs.iter().zip(snap.iter_mut())
+                                        {
+                                            // ccdem-lint: allow(panic) — see
+                                            // above.
+                                            *slot = window[(x - first_x) as usize];
+                                        }
+                                    }
+                                } else {
+                                    for (&x, slot) in seg_xs.iter().zip(snap.iter_mut()) {
+                                        // ccdem-lint: allow(panic) — see
+                                        // above.
+                                        *slot = window[(x - first_x) as usize];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    s0 = s1;
+                }
+                g = g_end;
+            }
+            // Reconstruct the row-major early-exit accounting from the
+            // lexicographically first difference, exactly as the
+            // row-major walk would have charged it.
+            if !differs {
+                match first {
+                    Some((r, k)) => {
+                        differs = true;
+                        points_compared += r * n_cols + k + 1;
+                    }
+                    None => points_compared += (gy1 - gy0) * n_cols,
+                }
+            }
+        }
+        TileCompare {
+            grid: GridCompare {
+                differs,
+                points_compared,
+                points_read,
+            },
+            tiles_checked,
+            tiles_descended,
         }
     }
 
@@ -916,6 +1191,147 @@ mod tests {
             assert_eq!(snap, g.sample(&fb), "snapshot current ({}x{})", g.cols(), g.rows());
             assert!(r.points_compared <= r.points_read);
         }
+    }
+
+    #[test]
+    fn degenerate_budgets_and_resolutions_are_exact() {
+        // Zero budget: panic-free, minimal one-point sampler.
+        let g = GridSampler::for_pixel_budget(Resolution::new(100, 100), 0);
+        assert_eq!((g.cols(), g.rows()), (1, 1));
+        let g = GridSampler::for_pixel_budget(Resolution::new(1, 1), 0);
+        assert_eq!(g.sample_count(), 1);
+        // Budget of one: the single centre point.
+        let g = GridSampler::for_pixel_budget(Resolution::GALAXY_S3, 1);
+        assert_eq!((g.cols(), g.rows()), (1, 1));
+        // Single-row screen: exactly `budget` samples along the row.
+        let g = GridSampler::for_pixel_budget(Resolution::new(100, 1), 4);
+        assert_eq!((g.cols(), g.rows()), (4, 1));
+        // Single-column screen: exactly `budget` samples down the column.
+        let g = GridSampler::for_pixel_budget(Resolution::new(1, 100), 4);
+        assert_eq!((g.cols(), g.rows()), (1, 4));
+        // Budget at or above the pixel count: the full sampler.
+        for budget in [100usize, 101, usize::MAX] {
+            let g = GridSampler::for_pixel_budget(Resolution::new(10, 10), budget);
+            assert_eq!((g.cols(), g.rows()), (10, 10), "budget {budget}");
+        }
+        // The paper configuration is unchanged by the hardening.
+        let g = GridSampler::for_pixel_budget(Resolution::GALAXY_S3, 9216);
+        assert_eq!((g.cols(), g.rows()), (72, 128));
+    }
+
+    #[test]
+    fn tiled_capture_matches_damaged_reference() {
+        let res = Resolution::new(200, 150); // 4×3 tiles with uneven edges
+        for g in [GridSampler::full(res), GridSampler::new(res, 37, 29)] {
+            let mut fb = FrameBuffer::new(res);
+            fb.fill(Pixel::grey(20));
+            let mut snap_ref = g.sample(&fb);
+            let mut snap_tiled = snap_ref.clone();
+            fb.take_damage();
+            let lcg = fb.content_generation();
+
+            // Mixed frame: a tile-covering solid fill, a small unknown
+            // write, and a large untouched (clean) remainder.
+            fb.fill_rect(Rect::new(0, 64, 64, 64), Pixel::grey(90));
+            fb.fill_rect(Rect::new(130, 10, 17, 9), Pixel::WHITE);
+            let damage = fb.take_damage();
+
+            let reference = g.compare_and_capture_damaged(&fb, &damage, &mut snap_ref);
+            let tiled =
+                g.compare_and_capture_tiled(&fb, &damage, lcg, &mut snap_tiled);
+            assert_eq!(tiled.grid.differs, reference.differs);
+            assert_eq!(tiled.grid.points_compared, reference.points_compared);
+            assert_eq!(snap_tiled, snap_ref, "snapshot bytes must match");
+            assert!(tiled.grid.points_read <= reference.points_read);
+            assert!(tiled.tiles_descended > 0);
+            assert!(tiled.tiles_checked >= tiled.tiles_descended);
+        }
+    }
+
+    #[test]
+    fn tiled_capture_resolves_solid_tiles_with_zero_reads() {
+        let res = Resolution::GALAXY_S3;
+        let g = GridSampler::for_pixel_budget(res, 9216);
+        let mut fb = FrameBuffer::new(res);
+        let mut snap = g.sample(&fb);
+        fb.take_damage();
+        let lcg = fb.content_generation();
+        fb.fill(Pixel::grey(70));
+        let damage = fb.take_damage();
+        let r = g.compare_and_capture_tiled(&fb, &damage, lcg, &mut snap);
+        assert!(r.grid.differs);
+        assert_eq!(r.grid.points_read, 0, "solid tiles need no pixel reads");
+        assert_eq!(r.grid.points_compared, 1, "first point already differs");
+        assert_eq!(snap, g.sample(&fb), "snapshot must stay current");
+        assert_eq!(r.tiles_checked, 240); // 12×20 tile grid, all checked
+        assert_eq!(r.tiles_descended, 240); // … and all written
+    }
+
+    #[test]
+    fn tiled_capture_skips_clean_tiles_inside_stale_damage() {
+        // Damage may over-approximate (merged rects): tiles no write
+        // ever touched stay clean and are skipped outright, so the two
+        // pruning mechanisms compose instead of fighting.
+        let res = Resolution::new(256, 64); // 4×1 tiles
+        let g = GridSampler::full(res);
+        let mut fb = FrameBuffer::new(res);
+        let mut snap = g.sample(&fb);
+        fb.take_damage();
+        let lcg = fb.content_generation();
+        fb.set_pixel(0, 0, Pixel::WHITE);
+        // Hand the comparator the whole screen as damage: only the one
+        // written tile descends.
+        let damage = DamageRegion::of(res.bounds());
+        let r = g.compare_and_capture_tiled(&fb, &damage, lcg, &mut snap);
+        assert!(r.grid.differs);
+        assert_eq!(r.tiles_checked, 4);
+        assert_eq!(r.tiles_descended, 1);
+        assert_eq!(r.grid.points_read, 64 * 64, "one tile's points only");
+        assert_eq!(snap, g.sample(&fb), "snapshot must stay current");
+    }
+
+    #[test]
+    fn same_colour_refill_descends_but_stays_equal() {
+        // The closest thing to a "signature collision" in this scheme:
+        // the stamp says dirty while the content is identical. The cost
+        // is a (read-free) descent; the verdict is still unchanged.
+        let res = Resolution::new(128, 128); // 2×2 tiles
+        let g = GridSampler::new(res, 16, 16);
+        let mut fb = FrameBuffer::new(res);
+        fb.fill(Pixel::grey(42));
+        let mut snap = g.sample(&fb);
+        fb.take_damage();
+        let lcg = fb.content_generation();
+        fb.fill(Pixel::grey(42)); // identical refill: stamps advance
+        let damage = fb.take_damage();
+        let r = g.compare_and_capture_tiled(&fb, &damage, lcg, &mut snap);
+        assert!(!r.grid.differs, "identical content is never misclassified");
+        assert_eq!(r.grid.points_compared, g.sample_count());
+        assert_eq!(r.tiles_descended, 4, "the stamp forces a descent");
+        assert_eq!(r.grid.points_read, 0, "…but a solid descent reads nothing");
+    }
+
+    #[test]
+    fn tiled_capture_with_empty_damage_is_free() {
+        let res = Resolution::QUARTER;
+        let g = GridSampler::for_pixel_budget(res, 500);
+        let mut fb = FrameBuffer::new(res);
+        let mut snap = g.sample(&fb);
+        let lcg = fb.content_generation();
+        fb.touch();
+        let r = g.compare_and_capture_tiled(&fb, &DamageRegion::new(), lcg, &mut snap);
+        assert_eq!(
+            r,
+            TileCompare {
+                grid: GridCompare {
+                    differs: false,
+                    points_compared: 0,
+                    points_read: 0
+                },
+                tiles_checked: 0,
+                tiles_descended: 0,
+            }
+        );
     }
 
     #[test]

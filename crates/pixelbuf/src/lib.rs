@@ -14,6 +14,9 @@
 //! * [`grid`] — grid-based sparse comparison (paper §3.1, "grid-based
 //!   comparison"), including the exact Galaxy S3 grid configurations of
 //!   Fig. 6.
+//! * [`tile`] — per-tile content signatures maintained by the draw ops,
+//!   letting the meter skip or constant-compare whole tiles without
+//!   reading framebuffer pixels.
 //! * [`pool`] — recycled pixel storage, the allocation-free steady state
 //!   of repeated scenario runs.
 //! * [`diff`] — exhaustive ground-truth comparison.
@@ -53,6 +56,7 @@ pub mod grid;
 pub mod pixel;
 pub mod pool;
 pub mod ppm;
+pub mod tile;
 
 pub use buffer::FrameBuffer;
 pub use damage::DamageRegion;
@@ -61,3 +65,4 @@ pub use geometry::{Rect, Resolution};
 pub use grid::GridSampler;
 pub use pixel::{Pixel, PixelFormat};
 pub use pool::PixelPool;
+pub use tile::{Tile, TileMap, TILE_SIZE};

@@ -1,6 +1,7 @@
 //! Property-based tests for framebuffers, geometry and grid sampling.
 
 use ccdem_pixelbuf::buffer::FrameBuffer;
+use ccdem_pixelbuf::damage::{DamageRegion, MAX_DAMAGE_RECTS};
 use ccdem_pixelbuf::diff::{buffers_equal, changed_pixel_count};
 use ccdem_pixelbuf::double_buffer::DoubleBuffer;
 use ccdem_pixelbuf::geometry::{Rect, Resolution};
@@ -57,6 +58,50 @@ fn apply(op: DrawOp, fb: &mut FrameBuffer) {
             fb.set_pixel(x % res.width, y % res.height, Pixel::grey(g));
         }
         DrawOp::Scroll(dy, g) => fb.scroll_up(dy, Pixel::grey(g)),
+    }
+}
+
+/// A [`DrawOp`] extended with the blit entry points, which need a source
+/// buffer and drive the tile-signature inheritance paths.
+#[derive(Debug, Clone, Copy)]
+enum TileOp {
+    Draw(DrawOp),
+    CopyFull,
+    CopyRect(Rect),
+    BlendRect(Rect),
+}
+
+fn arb_tile_op() -> impl Strategy<Value = TileOp> {
+    prop_oneof![
+        arb_draw_op().prop_map(TileOp::Draw),
+        arb_draw_op().prop_map(TileOp::Draw),
+        arb_draw_op().prop_map(TileOp::Draw),
+        Just(TileOp::CopyFull),
+        arb_rect().prop_map(TileOp::CopyRect),
+        arb_rect().prop_map(TileOp::BlendRect),
+    ]
+}
+
+fn apply_tile_op(op: TileOp, fb: &mut FrameBuffer, src: &FrameBuffer) {
+    match op {
+        TileOp::Draw(op) => apply(op, fb),
+        TileOp::CopyFull => fb.copy_from(src),
+        TileOp::CopyRect(r) => fb.copy_rect_from(src, r),
+        TileOp::BlendRect(r) => fb.blend_rect_from(src, r),
+    }
+}
+
+/// Assert the [`DamageRegion`] representation invariants: at most
+/// [`MAX_DAMAGE_RECTS`] rects, none empty, and all pairwise disjoint
+/// (the cascading re-merge in `add` must have reached a fixpoint).
+fn assert_disjoint(region: &DamageRegion) {
+    let rects = region.rects();
+    assert!(rects.len() <= MAX_DAMAGE_RECTS);
+    for (i, a) in rects.iter().enumerate() {
+        assert!(!a.is_empty(), "stored empty rect {a:?}");
+        for b in &rects[i + 1..] {
+            assert_eq!(a.intersection(*b), None, "rects {a:?} and {b:?} overlap");
+        }
     }
 }
 
@@ -220,6 +265,101 @@ proptest! {
             prop_assert_eq!(restricted.differs, expected_differs);
             prop_assert_eq!(&damaged_snap, &reference);
             prop_assert!(restricted.points_read <= fused.points_read);
+        }
+    }
+
+    /// Satellite 1: after every `add` in an arbitrary sequence, the
+    /// damage rects are pairwise disjoint, within capacity, non-empty,
+    /// and still cover every rect added so far. Disjointness makes
+    /// `area()` an exact (not over-counted) pixel count, which the
+    /// sampler relies on when pricing the damage-restricted gather.
+    #[test]
+    fn damage_add_keeps_rects_disjoint_and_covering(
+        rects in proptest::collection::vec(arb_rect(), 1..40),
+    ) {
+        let mut region = DamageRegion::new();
+        for (n, &r) in rects.iter().enumerate() {
+            region.add(r);
+            assert_disjoint(&region);
+
+            // Coverage: spot-check corners, centre, and edge midpoints
+            // of everything added so far.
+            for &prev in &rects[..=n] {
+                if prev.is_empty() {
+                    continue;
+                }
+                let (x1, y1) = (prev.right() - 1, prev.bottom() - 1);
+                let (cx, cy) = (prev.x + prev.width / 2, prev.y + prev.height / 2);
+                for (x, y) in [
+                    (prev.x, prev.y), (x1, prev.y), (prev.x, y1), (x1, y1),
+                    (cx, cy), (cx, prev.y), (cx, y1), (prev.x, cy), (x1, cy),
+                ] {
+                    prop_assert!(region.contains(x, y), "({}, {}) of {:?} lost", x, y, prev);
+                }
+            }
+        }
+
+        // area() must agree with the ground-truth union now that the
+        // rects are disjoint.
+        let b = region.bounding();
+        let mut true_area = 0u64;
+        for y in b.y..b.bottom() {
+            for x in b.x..b.right() {
+                true_area += u64::from(region.contains(x, y));
+            }
+        }
+        prop_assert_eq!(region.area(), true_area);
+
+        // Merging a whole region at once preserves the same invariants.
+        let mut merged = DamageRegion::new();
+        merged.add_region(&region);
+        assert_disjoint(&merged);
+        prop_assert_eq!(merged.area(), region.area());
+    }
+
+    /// Tentpole equivalence: over arbitrary op sequences — including
+    /// blits from a second buffer, which exercise signature inheritance
+    /// and quantisation — the tile-gated gather returns the same
+    /// verdict, the same `points_compared`, and byte-identical snapshot
+    /// contents as the PR 5 damage-restricted gather, while never
+    /// reading more framebuffer pixels.
+    #[test]
+    fn tiled_gather_matches_damaged_reference(
+        w in 8u32..150,
+        h in 8u32..150,
+        budget in 16usize..2_000,
+        dst_565 in any::<bool>(),
+        src_ops in proptest::collection::vec(arb_draw_op(), 1..5),
+        ops in proptest::collection::vec(arb_tile_op(), 1..30),
+    ) {
+        let res = Resolution::new(w, h);
+        let format = if dst_565 { PixelFormat::Rgb565 } else { PixelFormat::Rgba8888 };
+        let g = GridSampler::for_pixel_budget(res, budget);
+
+        let mut src = FrameBuffer::new(res);
+        for &op in &src_ops {
+            apply(op, &mut src);
+        }
+
+        let mut fb = FrameBuffer::with_format(res, format);
+        let mut tiled_snap = g.sample(&fb);
+        let mut ref_snap = tiled_snap.clone();
+        fb.take_damage();
+        let mut lcg = fb.content_generation();
+
+        for op in ops {
+            apply_tile_op(op, &mut fb, &src);
+            let damage = fb.take_damage();
+
+            let reference = g.compare_and_capture_damaged(&fb, &damage, &mut ref_snap);
+            let tiled = g.compare_and_capture_tiled(&fb, &damage, lcg, &mut tiled_snap);
+
+            prop_assert_eq!(tiled.grid.differs, reference.differs);
+            prop_assert_eq!(tiled.grid.points_compared, reference.points_compared);
+            prop_assert_eq!(&tiled_snap, &ref_snap);
+            prop_assert!(tiled.grid.points_read <= reference.points_read);
+            prop_assert!(tiled.tiles_descended <= tiled.tiles_checked);
+            lcg = fb.content_generation();
         }
     }
 

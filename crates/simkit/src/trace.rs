@@ -226,7 +226,13 @@ impl FromIterator<(SimTime, f64)> for Trace {
 ///
 /// Pruning happens on [`record`](Self::record): timestamps strictly older
 /// than `latest - horizon` are dropped, so a timestamp exactly at the
-/// horizon is still retained.
+/// horizon is still retained. Note the asymmetry against windowed
+/// queries: retention keeps the *closed* interval
+/// `[latest - horizon, latest]`, while [`count_in`](Self::count_in) is
+/// half-open `[start, end)` — so `count_in(latest - horizon, latest)`
+/// includes the exactly-horizon-old event at `start` but excludes the
+/// newest event sitting at `end`; extend `end` past `latest` to count
+/// every retained timestamp.
 ///
 /// # Examples
 ///
@@ -519,13 +525,27 @@ mod tests {
 
     #[test]
     fn retention_keeps_events_exactly_at_horizon() {
-        let mut c = EventCounter::with_retention(SimDuration::from_secs(1));
+        let horizon = SimDuration::from_secs(1);
+        let mut c = EventCounter::with_retention(horizon);
         c.record(SimTime::ZERO);
         c.record(SimTime::from_secs(1)); // exactly horizon-old: kept
         assert_eq!(c.retained_len(), 2);
-        c.record(SimTime::from_millis(1_001)); // now ZERO is stale
+
+        // Retention keeps the closed interval [now - horizon, now];
+        // count_in is half-open [start, end). The full trailing window
+        // therefore counts the exactly-horizon-old event at `start` but
+        // not the newest one at `end` — no off-by-one on either side.
+        let now = SimTime::from_secs(1);
+        assert_eq!(c.count_in(now - horizon, now), 1);
+        let just_past = now + SimDuration::from_micros(1);
+        assert_eq!(c.count_in(now - horizon, just_past), 2);
+
+        c.record(SimTime::from_millis(1_001)); // now ZERO is 1 ms stale
         assert_eq!(c.retained_len(), 2);
         assert_eq!(c.count(), 3);
+        // A window reaching past the horizon undercounts: the pruned
+        // event at ZERO is gone even though `count` still includes it.
+        assert_eq!(c.count_in(SimTime::ZERO, SimTime::from_secs(2)), 2);
     }
 
     #[test]

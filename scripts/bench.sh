@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_PR5.json — the tracked performance report for the
-# row-run metering engine — or compares two existing reports. Run from
-# the repo root.
+# Regenerates BENCH_PR6.json — the tracked performance report for the
+# tile-signature metering engine — or compares two existing reports.
+# Run from the repo root.
 #
 #   scripts/bench.sh           full run: 200 timed frames per case plus
 #                              the 30 s end-to-end sweep wall clock;
 #                              checked against the committed
-#                              BENCH_PR3.json baseline before exiting
+#                              BENCH_PR5.json baseline before exiting
 #   scripts/bench.sh --quick   CI smoke: 10 frames, no sweep; the exact
 #                              points-read columns are identical, only
 #                              the timings get noisier (no baseline
@@ -31,8 +31,8 @@ if [[ "${1:-}" == "--compare" ]]; then
     exit 0
 fi
 
-out=BENCH_PR5.json
-baseline=BENCH_PR3.json
+out=BENCH_PR6.json
+baseline=BENCH_PR5.json
 cargo build --release -q
 cargo run --release -q --bin ccdem -- bench --out "$out" "$@"
 if [[ " $* " == *" --quick "* ]]; then

@@ -14,10 +14,13 @@ cargo test -q --test trace_jsonl
 # on malformed or regressed output).
 cargo run --release -q --bin ccdem -- bench --quick --out target/bench_smoke.json
 cargo run --release -q --bin ccdem -- bench --check target/bench_smoke.json
-# PR 5 speedup gate on the two *committed* reports (deterministic: no
-# fresh measurement involved): the row-run engine must halve full_change
-# at the full grid and not regress redundant/small_damage.
+# Speedup gates on the *committed* reports (deterministic: no fresh
+# measurement involved): the row-run engine must halve full_change at
+# the full grid over PR 3, and the tile-signature engine must beat the
+# row-run engine by 1.5x there; neither may regress
+# redundant/small_damage.
 cargo run --release -q --bin ccdem -- bench --check BENCH_PR5.json --baseline BENCH_PR3.json
+cargo run --release -q --bin ccdem -- bench --check BENCH_PR6.json --baseline BENCH_PR5.json
 # Compare-table smoke via the shell wrapper (exercises --compare).
 scripts/bench.sh --compare BENCH_PR3.json BENCH_PR5.json
 # Workspace static analysis (hard gate): determinism, panic-policy,

@@ -92,7 +92,7 @@ fn print_usage() {
          [--check <file.json> [--baseline <file.json>]]\n        \
          [--compare <file.json> --baseline <file.json>]\n                                \
          measure the metering cost at the paper's five pixel\n                                \
-         budgets and write BENCH_PR5.json; --check validates an\n                                \
+         budgets and write BENCH_PR6.json; --check validates an\n                                \
          existing report (plus the speedup gate when --baseline\n                                \
          is given); --compare prints a baseline-vs-new delta table\n  \
          lint [--json] [--fix-baseline]\n                                \
