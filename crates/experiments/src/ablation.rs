@@ -22,6 +22,7 @@ use ccdem_simkit::parallel::ParallelRunner;
 use ccdem_simkit::time::{SimDuration, SimTime};
 use ccdem_workloads::catalog;
 
+use crate::campaign::CampaignStats;
 use crate::scenario::{scaled_budget, RunScratch, Scenario, Workload};
 use ccdem_pixelbuf::geometry::Resolution;
 
@@ -299,16 +300,37 @@ pub fn psr_sweep(config: &AblationConfig) -> Ablation {
 /// so the returned ablations are identical whether `obs` is enabled or
 /// not.
 pub fn run_all(config: &AblationConfig, obs: &Obs) -> Vec<Ablation> {
-    let ablations = vec![
-        control_window_sweep(config),
-        grid_budget_sweep(config),
-        boost_hold_sweep(config),
-        mapper_rule_compare(config),
-        smoothing_sweep(config),
-        down_dwell_sweep(config),
-        psr_sweep(config),
+    run_all_with_campaign(config, obs).0
+}
+
+/// [`run_all`], additionally folding every measured point into a
+/// streaming [`CampaignStats`] as each ablation completes.
+///
+/// Points fold in as the campaign advances through the seven sweeps, so
+/// a live sink sees a `campaign.progress` line (running count plus
+/// headline percentiles — `saved_p50_mw` rather than the power
+/// percentiles a sweep campaign reports) after each `ablation.point`,
+/// and a final `campaign.end` once all sweeps are in. The total point
+/// count is not known up front, so progress lines omit the `total`
+/// field. Folding is order-independent, hence the returned statistics
+/// are identical for any worker count.
+pub fn run_all_with_campaign(
+    config: &AblationConfig,
+    obs: &Obs,
+) -> (Vec<Ablation>, CampaignStats) {
+    let sweeps: [fn(&AblationConfig) -> Ablation; 7] = [
+        control_window_sweep,
+        grid_budget_sweep,
+        boost_hold_sweep,
+        mapper_rule_compare,
+        smoothing_sweep,
+        down_dwell_sweep,
+        psr_sweep,
     ];
-    for ablation in &ablations {
+    let mut campaign = CampaignStats::new();
+    let mut ablations = Vec::with_capacity(sweeps.len());
+    for sweep in sweeps {
+        let ablation = sweep(config);
         for point in &ablation.points {
             obs.emit("ablation.point", SimTime::ZERO, |event| {
                 event
@@ -319,9 +341,13 @@ pub fn run_all(config: &AblationConfig, obs: &Obs) -> Vec<Ablation> {
                     .field("dropped_fps", point.dropped_fps)
                     .field("switches", point.switches);
             });
+            campaign.observe_point(point);
+            campaign.emit_progress(obs, 0);
         }
+        ablations.push(ablation);
     }
-    ablations
+    campaign.emit_end(obs);
+    (ablations, campaign)
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@
 //! run's time series or a batch of summaries as CSV.
 
 pub mod ablation;
+pub mod campaign;
 pub mod certificate;
 pub mod export;
 pub mod fig2;
@@ -36,6 +37,7 @@ pub mod generalize;
 pub mod perf;
 pub mod perf_sweep;
 pub mod perfcmp;
+pub mod profile;
 pub mod scenario;
 pub mod sweep;
 

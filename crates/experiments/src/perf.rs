@@ -1,5 +1,5 @@
 //! The metering micro-benchmark behind the committed `BENCH_PR3.json`,
-//! `BENCH_PR5.json` and `BENCH_PR6.json` reports.
+//! `BENCH_PR5.json`, `BENCH_PR6.json` and `BENCH_PR7.json` reports.
 //!
 //! Benchmarks the per-frame metering cost at the paper's five pixel
 //! budgets (Fig. 6's x-axis) across the frame shapes the fast path
@@ -24,28 +24,49 @@
 //! is checked from the counters, not the clock. [`validate`] re-parses a
 //! written report and enforces that claim, which is how CI keeps the
 //! committed reports honest.
+//!
+//! Since the streaming-telemetry generation the report additionally
+//! carries a **decision-tick latency budget**: the benchmark runs a
+//! short profiled [`Scenario`], collects the `profile.decision_tick`
+//! sketch from the global registry, and embeds the full serialized
+//! sketch (plus headline percentiles) in the document. [`validate`]
+//! recomputes p99 from the embedded sketch and fails any report whose
+//! decision tick exceeds [`DECISION_TICK_BUDGET_US`] — the paper's
+//! feasibility claim (§3.4, "negligible overhead per control window")
+//! made checkable from a committed artifact.
 
 use std::fmt;
 use std::time::Instant;
 
+use ccdem_core::governor::Policy;
 use ccdem_core::meter::{ContentRateMeter, FrameClass};
 use ccdem_metrics::table::TextTable;
 use ccdem_obs::json::{self, Json};
+use ccdem_obs::{metrics, QuantileSketch};
 use ccdem_pixelbuf::buffer::FrameBuffer;
 use ccdem_pixelbuf::geometry::{Rect, Resolution};
 use ccdem_pixelbuf::grid::GridSampler;
 use ccdem_pixelbuf::pixel::Pixel;
 use ccdem_simkit::time::{SimDuration, SimTime};
+use ccdem_workloads::catalog;
 
 use crate::fig6::PAPER_BUDGETS;
+use crate::scenario::{Scenario, Workload};
 use crate::sweep::{self, SweepConfig};
 
 /// The benchmark's frame shapes, in report order.
 pub const CASES: [&str; 4] = ["redundant", "small_damage", "full_change", "naive_redundant"];
 
-/// The `"bench"` marker newly generated reports carry (the PR 6
-/// tile-signature metering engine produced them).
-pub const MARKER: &str = "ccdem-pr6-tile-signature-metering";
+/// The `"bench"` marker newly generated reports carry (the streaming
+/// telemetry generation: same tile-signature metering engine as PR 6,
+/// plus the decision-tick latency budget).
+pub const MARKER: &str = "ccdem-pr7-streaming-telemetry";
+
+/// The marker of the committed PR 6 tile-signature baseline report.
+/// [`perfcmp::check`](crate::perfcmp::check) applies a regression-only
+/// gate against this marker — the metering engine is unchanged since
+/// PR 6, so no further speedup is owed, only no slowdown.
+pub const MARKER_PR6: &str = "ccdem-pr6-tile-signature-metering";
 
 /// The marker of the committed PR 5 baseline report (row-run metering,
 /// pre tile gating). [`perfcmp::check`](crate::perfcmp::check) keys its
@@ -64,6 +85,11 @@ pub struct PerfConfig {
     /// Simulated seconds of end-to-end sweep to wall-clock; `0` skips
     /// the sweep entirely (CI smoke mode).
     pub sweep_secs: u64,
+    /// Simulated seconds of the profiled scenario that measures
+    /// decision-tick latency; `0` skips the measurement (the report
+    /// then carries `"decision_tick": null`, which only pre-PR 7
+    /// markers may).
+    pub tick_secs: u64,
     /// Root seed for the sweep portion.
     pub seed: u64,
 }
@@ -73,6 +99,7 @@ impl Default for PerfConfig {
         PerfConfig {
             frames: 200,
             sweep_secs: 30,
+            tick_secs: 30,
             seed: 9,
         }
     }
@@ -80,12 +107,13 @@ impl Default for PerfConfig {
 
 impl PerfConfig {
     /// A configuration small enough for a CI smoke step: few frames, no
-    /// sweep. The points-read columns are identical to a full run;
-    /// only the timing columns get noisier.
+    /// sweep, a short decision-tick scenario. The points-read columns
+    /// are identical to a full run; only the timing columns get noisier.
     pub fn quick() -> PerfConfig {
         PerfConfig {
             frames: 10,
             sweep_secs: 0,
+            tick_secs: 6,
             seed: 9,
         }
     }
@@ -121,7 +149,64 @@ impl BudgetResult {
     }
 }
 
-/// The full benchmark report, serializable as `BENCH_PR6.json`.
+/// Hard ceiling on decision-tick p99, in microseconds. The control
+/// window is 500 ms; a tick that stays under 200 µs costs less than
+/// 0.04 % of its window, which is the quantitative form of the paper's
+/// "negligible overhead" feasibility claim. Release-build ticks measure
+/// in the single-digit microseconds, so the budget leaves two orders of
+/// magnitude of headroom for slow CI hosts without ever tolerating an
+/// accidental O(pixels) regression in the decision path.
+pub const DECISION_TICK_BUDGET_US: f64 = 200.0;
+
+/// The decision-tick latency measurement embedded in a report: the full
+/// `profile.decision_tick` sketch (nanoseconds per control tick) from a
+/// profiled scenario run. Percentiles are derived from the sketch on
+/// demand, so the serialized document and the in-memory report can never
+/// disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTick {
+    /// The recorded tick-latency sketch (values in nanoseconds).
+    pub sketch: QuantileSketch,
+}
+
+impl DecisionTick {
+    /// Wraps an already-recorded tick sketch.
+    pub fn from_sketch(sketch: QuantileSketch) -> DecisionTick {
+        DecisionTick { sketch }
+    }
+
+    /// Number of control ticks measured.
+    pub fn ticks(&self) -> u64 {
+        self.sketch.count()
+    }
+
+    /// The `q`-quantile tick latency in microseconds (0 when empty).
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        self.sketch.quantile(q).unwrap_or(0) as f64 / 1e3
+    }
+
+    /// The slowest observed tick in microseconds (0 when empty).
+    pub fn max_us(&self) -> f64 {
+        self.sketch.max().unwrap_or(0) as f64 / 1e3
+    }
+
+    /// Serializes the measurement: headline percentiles for human
+    /// readers, the budget the report claims to meet, and the sparse
+    /// sketch [`validate`] recomputes the percentiles from.
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("ticks".into(), Json::Num(self.ticks() as f64)),
+            ("p50_us".into(), Json::Num(self.quantile_us(0.5))),
+            ("p90_us".into(), Json::Num(self.quantile_us(0.9))),
+            ("p99_us".into(), Json::Num(self.quantile_us(0.99))),
+            ("max_us".into(), Json::Num(self.max_us())),
+            ("budget_us".into(), Json::Num(DECISION_TICK_BUDGET_US)),
+            ("sketch".into(), self.sketch.to_json()),
+        ])
+    }
+}
+
+/// The full benchmark report, serializable as `BENCH_PR7.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
     /// Frames timed per case.
@@ -131,6 +216,8 @@ pub struct PerfReport {
     /// Wall-clock seconds of the end-to-end sweep, if one ran, paired
     /// with its simulated duration in seconds.
     pub sweep: Option<(u64, f64)>,
+    /// Decision-tick latency from a profiled scenario, if measured.
+    pub decision_tick: Option<DecisionTick>,
 }
 
 /// Runs the benchmark at full Galaxy S3 resolution.
@@ -148,14 +235,39 @@ pub fn run(config: &PerfConfig) -> PerfReport {
             quarter_resolution: true,
             jobs: 0,
             naive_metering: false,
+            profile: false,
         });
         (config.sweep_secs, started.elapsed().as_secs_f64())
     });
+    let decision_tick =
+        (config.tick_secs > 0).then(|| measure_decision_tick(config.tick_secs, config.seed));
     PerfReport {
         frames: config.frames,
         budgets,
         sweep,
+        decision_tick,
     }
+}
+
+/// Runs a short profiled scenario and returns the decision-tick latency
+/// sketch its engine recorded into the global registry. The delta
+/// between snapshots isolates this run's samples from anything recorded
+/// earlier in the process.
+fn measure_decision_tick(tick_secs: u64, seed: u64) -> DecisionTick {
+    let before = metrics().snapshot();
+    Scenario::new(Workload::App(catalog::facebook()), Policy::SectionWithBoost)
+        .at_quarter_resolution()
+        .with_duration(SimDuration::from_secs(tick_secs))
+        .with_seed(seed)
+        .with_profiling()
+        .run();
+    let delta = metrics().snapshot().delta_since(&before);
+    let sketch = delta
+        .sketches
+        .get("profile.decision_tick")
+        .cloned()
+        .unwrap_or_default();
+    DecisionTick::from_sketch(sketch)
 }
 
 fn run_budget(config: &PerfConfig, resolution: Resolution, budget: usize) -> BudgetResult {
@@ -239,7 +351,7 @@ fn bench_case(
 }
 
 impl PerfReport {
-    /// Serializes the report as the `BENCH_PR6.json` document.
+    /// Serializes the report as the `BENCH_PR7.json` document.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(2048);
         out.push_str(&format!("{{\n  \"bench\": \"{MARKER}\",\n"));
@@ -266,9 +378,17 @@ impl PerfReport {
         out.push_str("  ],\n");
         match self.sweep {
             Some((sim_secs, wall_secs)) => out.push_str(&format!(
-                "  \"sweep\": {{\"sim_secs\": {sim_secs}, \"wall_secs\": {wall_secs:.2}}}\n"
+                "  \"sweep\": {{\"sim_secs\": {sim_secs}, \"wall_secs\": {wall_secs:.2}}},\n"
             )),
-            None => out.push_str("  \"sweep\": null\n"),
+            None => out.push_str("  \"sweep\": null,\n"),
+        }
+        match &self.decision_tick {
+            Some(tick) => {
+                out.push_str("  \"decision_tick\": ");
+                json::write_json(&mut out, &tick.to_json());
+                out.push('\n');
+            }
+            None => out.push_str("  \"decision_tick\": null\n"),
         }
         out.push('}');
         out
@@ -305,18 +425,33 @@ impl fmt::Display for PerfReport {
         if let Some((sim, wall)) = self.sweep {
             write!(f, "\n30-app sweep ({sim} s simulated): {wall:.2} s wall clock")?;
         }
+        if let Some(tick) = &self.decision_tick {
+            write!(
+                f,
+                "\ndecision tick: {} ticks, p50 {:.1} µs, p99 {:.1} µs, max {:.1} µs \
+                 (budget {DECISION_TICK_BUDGET_US} µs)",
+                tick.ticks(),
+                tick.quantile_us(0.5),
+                tick.quantile_us(0.99),
+                tick.max_us(),
+            )?;
+        }
         Ok(())
     }
 }
 
-/// Validates a benchmark report document (`BENCH_PR3.json`,
-/// `BENCH_PR5.json` or `BENCH_PR6.json`; all [`MARKER`] generations are
-/// accepted): well-formed JSON, all five paper budgets present with
-/// every case measured, and the PR 3 headline criterion — each budget's
-/// fast redundant path reads at most half the pixels of the naive
-/// redundant path. The *timing* criteria (speedup over the committed
-/// baseline, keyed on the baseline's marker generation) live in
-/// [`crate::perfcmp::check`], which compares two reports.
+/// Validates a benchmark report document (any committed `BENCH_PR*.json`
+/// generation; all [`MARKER`] generations are accepted): well-formed
+/// JSON, all five paper budgets present with every case measured, and
+/// the PR 3 headline criterion — each budget's fast redundant path reads
+/// at most half the pixels of the naive redundant path. Reports carrying
+/// the streaming-telemetry marker must additionally embed a
+/// `decision_tick` sketch whose **recomputed** p99 stays within
+/// [`DECISION_TICK_BUDGET_US`] — the stored percentile members are
+/// display sugar; the sketch is the source of truth. The *timing*
+/// criteria (speedup over the committed baseline, keyed on the
+/// baseline's marker generation) live in [`crate::perfcmp::check`],
+/// which compares two reports.
 ///
 /// # Errors
 ///
@@ -324,7 +459,8 @@ impl fmt::Display for PerfReport {
 pub fn validate(document: &str) -> Result<(), String> {
     let doc = json::parse(document)?;
     let marker = doc.get("bench").and_then(Json::as_str);
-    if marker != Some(MARKER) && marker != Some(MARKER_PR5) && marker != Some(MARKER_PR3) {
+    let known = [MARKER, MARKER_PR6, MARKER_PR5, MARKER_PR3];
+    if !marker.is_some_and(|m| known.contains(&m)) {
         return Err("missing or wrong \"bench\" marker".into());
     }
     let Some(Json::Arr(budgets)) = doc.get("budgets") else {
@@ -381,16 +517,63 @@ pub fn validate(document: &str) -> Result<(), String> {
         }
     }
     match doc.get("sweep") {
-        Some(Json::Null) => Ok(()),
+        Some(Json::Null) => {}
         Some(sweep) => {
             let wall = sweep.get("wall_secs").and_then(Json::as_f64);
             match wall {
-                Some(w) if w > 0.0 => Ok(()),
-                _ => Err("\"sweep\" present but \"wall_secs\" malformed".into()),
+                Some(w) if w > 0.0 => {}
+                _ => return Err("\"sweep\" present but \"wall_secs\" malformed".into()),
             }
         }
-        None => Err("missing \"sweep\" member (use null when skipped)".into()),
+        None => return Err("missing \"sweep\" member (use null when skipped)".into()),
     }
+    validate_decision_tick(&doc, marker == Some(MARKER))
+}
+
+/// Checks the `decision_tick` member: required (with a budget-passing
+/// sketch) for streaming-telemetry reports, optional for the committed
+/// pre-PR 7 baselines, which predate the member entirely.
+fn validate_decision_tick(doc: &Json, required: bool) -> Result<(), String> {
+    let tick = match doc.get("decision_tick") {
+        None | Some(Json::Null) => {
+            return if required {
+                Err("streaming-telemetry reports must carry a \"decision_tick\" measurement".into())
+            } else {
+                Ok(())
+            };
+        }
+        Some(tick) => tick,
+    };
+    let sketch = tick
+        .get("sketch")
+        .and_then(QuantileSketch::from_json)
+        .ok_or("\"decision_tick\" sketch missing or malformed")?;
+    let ticks = tick
+        .get("ticks")
+        .and_then(Json::as_f64)
+        .ok_or("\"decision_tick\" missing \"ticks\"")? as u64;
+    if ticks == 0 || sketch.count() != ticks {
+        return Err(format!(
+            "\"decision_tick\" claims {ticks} ticks but its sketch holds {}",
+            sketch.count()
+        ));
+    }
+    let budget = tick
+        .get("budget_us")
+        .and_then(Json::as_f64)
+        .ok_or("\"decision_tick\" missing \"budget_us\"")?;
+    if budget > DECISION_TICK_BUDGET_US {
+        return Err(format!(
+            "\"decision_tick\" budget {budget} µs exceeds the allowed {DECISION_TICK_BUDGET_US} µs"
+        ));
+    }
+    let p99_us = sketch.quantile(0.99).unwrap_or(0) as f64 / 1e3;
+    if p99_us > budget {
+        return Err(format!(
+            "decision-tick p99 {p99_us:.1} µs exceeds the {budget} µs budget"
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -408,6 +591,13 @@ mod tests {
         assert_eq!(r.budgets[0].pixels, 2_304);
         assert_eq!(r.budgets[4].pixels, 921_600);
         assert!(r.sweep.is_none());
+        // The quick config still measures decision ticks: a 6 s profiled
+        // scenario at a 500 ms control window yields 11 of them (other
+        // tests may profile concurrently, so at-least rather than exact).
+        let tick = r.decision_tick.expect("quick config measures ticks");
+        assert!(tick.ticks() >= 11, "only {} ticks recorded", tick.ticks());
+        assert!(tick.quantile_us(0.5) > 0.0);
+        assert!(tick.quantile_us(0.99) <= tick.max_us() * (1.0 + 0.04));
     }
 
     #[test]
@@ -483,10 +673,53 @@ mod tests {
     }
 
     #[test]
+    fn decision_tick_is_required_and_tamper_proof() {
+        let report = quick();
+        let good = report.to_json();
+        validate(&good).expect("fresh quick report must validate");
+
+        // A streaming-telemetry report may not drop the measurement…
+        let stripped = PerfReport {
+            decision_tick: None,
+            ..report.clone()
+        }
+        .to_json();
+        let err = validate(&stripped).unwrap_err();
+        assert!(err.contains("decision_tick"), "wrong violation: {err}");
+        // …though the committed pre-PR 7 baselines predate it.
+        validate(&stripped.replace(MARKER, MARKER_PR6)).expect("PR 6 reports have no tick budget");
+
+        // Inflating the claimed budget cannot launder a slow tick: the
+        // stated budget is itself capped.
+        let lax = good.replace(
+            &format!("\"budget_us\":{DECISION_TICK_BUDGET_US}"),
+            "\"budget_us\":999999",
+        );
+        assert_ne!(lax, good, "budget member not found in document");
+        let err = validate(&lax).unwrap_err();
+        assert!(err.contains("exceeds the allowed"), "wrong violation: {err}");
+
+        // The tick count must agree with the embedded sketch — editing
+        // the headline number without the buckets is caught.
+        let ticks = report.decision_tick.as_ref().unwrap().ticks();
+        let forged = good.replace(
+            &format!("\"ticks\":{ticks}"),
+            &format!("\"ticks\":{}", ticks + 1),
+        );
+        assert_ne!(forged, good, "ticks member not found in document");
+        let err = validate(&forged).unwrap_err();
+        assert!(err.contains("sketch holds"), "wrong violation: {err}");
+    }
+
+    #[test]
     fn all_marker_generations_validate() {
         let good = quick().to_json();
         assert!(good.contains(MARKER));
-        for (name, marker) in [("PR 5", MARKER_PR5), ("PR 3", MARKER_PR3)] {
+        for (name, marker) in [
+            ("PR 6", MARKER_PR6),
+            ("PR 5", MARKER_PR5),
+            ("PR 3", MARKER_PR3),
+        ] {
             let doc = good.replace(MARKER, marker);
             validate(&doc)
                 .unwrap_or_else(|e| panic!("the {name} baseline marker must stay accepted: {e}"));

@@ -8,15 +8,19 @@
 //!
 //! * [`compare`] renders a per-(budget, case) table of baseline vs new
 //!   ns/frame with the speedup factor — the human-facing diff between,
-//!   say, the committed `BENCH_PR3.json` and `BENCH_PR5.json`.
-//! * [`check`] additionally enforces the acceptance gate: `full_change`
-//!   at the full 720×1280 grid must beat the baseline by the factor
-//!   owed to that baseline's generation (1.5× over the PR 5 row-run
-//!   report, 2× over older baselines), and must not regress `redundant`
-//!   or `small_damage` at any budget (beyond a noise margin — both
-//!   files are committed artifacts measured on possibly different
-//!   hosts, so the margin absorbs clock jitter without letting a real
-//!   regression through).
+//!   say, the committed `BENCH_PR3.json` and `BENCH_PR5.json` — plus,
+//!   when both reports embed decision-tick sketches, the p50/p99 tick
+//!   latency deltas **recomputed from the committed sketches** (never
+//!   the stored headline numbers).
+//! * [`check`] additionally enforces the acceptance gate keyed on the
+//!   baseline's generation: against the PR 5 row-run report,
+//!   `full_change` at the full 720×1280 grid owes a 1.5× speedup;
+//!   against older baselines, 2×; against the PR 6 tile-signature
+//!   report (or newer), the metering engine is unchanged, so the gate
+//!   is regression-only. Every gated case must stay within a noise
+//!   margin of the baseline — both files are committed artifacts
+//!   measured on possibly different hosts, so the margin absorbs clock
+//!   jitter without letting a real regression through.
 //!
 //! Timing gates on freshly measured numbers would be flaky; CI therefore
 //! runs [`check`] on the two *committed* reports, which is deterministic.
@@ -25,6 +29,7 @@ use std::fmt;
 
 use ccdem_metrics::table::TextTable;
 use ccdem_obs::json::{self, Json};
+use ccdem_obs::QuantileSketch;
 
 use crate::perf;
 
@@ -93,6 +98,18 @@ pub struct BudgetPair {
     pub new: BudgetTimings,
 }
 
+/// Decision-tick latency percentiles recomputed from a report's
+/// embedded sketch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickStats {
+    /// Control ticks the sketch holds.
+    pub ticks: u64,
+    /// Median tick latency. (µs)
+    pub p50_us: f64,
+    /// 99th-percentile tick latency. (µs)
+    pub p99_us: f64,
+}
+
 /// The parsed comparison of two reports, budgets ascending.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Comparison {
@@ -102,6 +119,9 @@ pub struct Comparison {
     pub new_marker: String,
     /// Paired budget rows, ascending by pixel count.
     pub pairs: Vec<BudgetPair>,
+    /// `(baseline, new)` decision-tick stats, present only when *both*
+    /// reports embed a non-empty tick sketch (pre-PR 7 baselines don't).
+    pub ticks: Option<(TickStats, TickStats)>,
 }
 
 /// Extracts the timing columns of a validated report document.
@@ -144,6 +164,20 @@ pub fn parse_timings(document: &str) -> Result<(String, Vec<BudgetTimings>), Str
     Ok((marker, rows))
 }
 
+/// Recomputes decision-tick percentiles from the sketch a (pre-parsed,
+/// already-validated) report document embeds; `None` when the document
+/// predates the member or recorded no ticks.
+fn parse_tick_stats(document: &str) -> Option<TickStats> {
+    let doc = json::parse(document).ok()?;
+    let sketch = QuantileSketch::from_json(doc.get("decision_tick")?.get("sketch")?)?;
+    let us = |q: f64| sketch.quantile(q).unwrap_or(0) as f64 / 1e3;
+    (!sketch.is_empty()).then(|| TickStats {
+        ticks: sketch.count(),
+        p50_us: us(0.5),
+        p99_us: us(0.99),
+    })
+}
+
 /// Parses both documents and pairs their budget rows.
 ///
 /// # Errors
@@ -173,10 +207,18 @@ pub fn compare(new_document: &str, baseline_document: &str) -> Result<Comparison
             Ok(BudgetPair { baseline, new })
         })
         .collect::<Result<Vec<_>, _>>()?;
+    let ticks = match (
+        parse_tick_stats(baseline_document),
+        parse_tick_stats(new_document),
+    ) {
+        (Some(baseline), Some(new)) => Some((baseline, new)),
+        _ => None,
+    };
     Ok(Comparison {
         baseline_marker,
         new_marker,
         pairs,
+        ticks,
     })
 }
 
@@ -185,7 +227,9 @@ pub fn compare(new_document: &str, baseline_document: &str) -> Result<Comparison
 /// 1. at the largest budget, `full_change` must beat the baseline by
 ///    the factor owed to that baseline's generation —
 ///    [`TILE_FULL_CHANGE_SPEEDUP`]× over the PR 5 row-run report,
-///    [`FULL_CHANGE_SPEEDUP`]× over anything older;
+///    [`FULL_CHANGE_SPEEDUP`]× over anything older. Against a PR 6 or
+///    newer baseline the metering engine is unchanged, so `full_change`
+///    joins the regression-only set instead of owing a speedup;
 /// 2. at every budget, `redundant` and `small_damage` must stay within
 ///    [`REGRESSION_MARGIN`]× of the baseline, with [`NOISE_FLOOR_NS`]
 ///    of absolute slack for the sub-microsecond cases.
@@ -200,24 +244,26 @@ pub fn check(new_document: &str, baseline_document: &str) -> Result<Comparison, 
         .pairs
         .last()
         .ok_or("no budgets to compare")?;
-    let speedup = if comparison.baseline_marker == perf::MARKER_PR5 {
-        TILE_FULL_CHANGE_SPEEDUP
-    } else {
-        FULL_CHANGE_SPEEDUP
+    let speedup = match comparison.baseline_marker.as_str() {
+        m if m == perf::MARKER || m == perf::MARKER_PR6 => None,
+        m if m == perf::MARKER_PR5 => Some(TILE_FULL_CHANGE_SPEEDUP),
+        _ => Some(FULL_CHANGE_SPEEDUP),
     };
-    if top.new.full_change_ns * speedup > top.baseline.full_change_ns {
-        return Err(format!(
-            "full_change at {} px: {:.1} ns/frame vs baseline {:.1} — \
-             less than the required {speedup}x speedup",
-            top.new.pixels, top.new.full_change_ns, top.baseline.full_change_ns
-        ));
+    if let Some(speedup) = speedup {
+        if top.new.full_change_ns * speedup > top.baseline.full_change_ns {
+            return Err(format!(
+                "full_change at {} px: {:.1} ns/frame vs baseline {:.1} — \
+                 less than the required {speedup}x speedup",
+                top.new.pixels, top.new.full_change_ns, top.baseline.full_change_ns
+            ));
+        }
     }
     for pair in &comparison.pairs {
         for ((name, new_ns), (_, baseline_ns)) in
             pair.new.cases().into_iter().zip(pair.baseline.cases())
         {
-            if name == "full_change" || name == "naive_redundant" {
-                continue; // gated above / reference only
+            if name == "naive_redundant" || (name == "full_change" && speedup.is_some()) {
+                continue; // reference only / gated above
             }
             if new_ns > baseline_ns * REGRESSION_MARGIN && new_ns > baseline_ns + NOISE_FLOOR_NS {
                 return Err(format!(
@@ -252,7 +298,17 @@ impl fmt::Display for Comparison {
                 ]);
             }
         }
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        if let Some((baseline, new)) = &self.ticks {
+            write!(
+                f,
+                "\ndecision tick (recomputed from committed sketches): \
+                 p50 {:.1} → {:.1} µs, p99 {:.1} → {:.1} µs \
+                 ({} → {} ticks)",
+                baseline.p50_us, new.p50_us, baseline.p99_us, new.p99_us, baseline.ticks, new.ticks,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -260,12 +316,13 @@ impl fmt::Display for Comparison {
 mod tests {
     use super::*;
     use crate::fig6::PAPER_BUDGETS;
-    use crate::perf::{BudgetResult, CaseResult, PerfReport};
+    use crate::perf::{BudgetResult, CaseResult, DecisionTick, PerfReport};
 
     /// A structurally valid report whose ns/frame for `(budget index,
     /// case index)` comes from `ns_of`. Points-read columns satisfy the
-    /// PR 3 criteria by construction.
-    fn synthetic(ns_of: impl Fn(usize, usize) -> f64) -> String {
+    /// PR 3 criteria by construction, and a small fixed tick sketch
+    /// (10/20/30 µs) satisfies the PR 7 budget.
+    fn synthetic_report(ns_of: impl Fn(usize, usize) -> f64) -> PerfReport {
         let budgets = PAPER_BUDGETS
             .iter()
             .enumerate()
@@ -292,24 +349,72 @@ mod tests {
                 ],
             })
             .collect();
+        let mut sketch = QuantileSketch::new();
+        for ns in [10_000, 20_000, 30_000] {
+            sketch.record(ns);
+        }
         PerfReport {
             frames: 1,
             budgets,
             sweep: None,
+            decision_tick: Some(DecisionTick::from_sketch(sketch)),
         }
-        .to_json()
+    }
+
+    fn synthetic(ns_of: impl Fn(usize, usize) -> f64) -> String {
+        synthetic_report(ns_of).to_json()
     }
 
     #[test]
-    fn self_comparison_is_unit_speedup_but_fails_the_gate() {
+    fn self_comparison_is_unit_speedup_and_passes_the_regression_gate() {
+        // A telemetry-generation baseline owes no further speedup, so a
+        // report compared against itself passes the regression-only gate.
         let doc = synthetic(|_, _| 100.0);
-        let cmp = compare(&doc, &doc).expect("self compare parses");
+        let cmp = check(&doc, &doc).expect("self compare must pass a regression-only gate");
         assert_eq!(cmp.pairs.len(), PAPER_BUDGETS.len());
         for pair in &cmp.pairs {
             assert_eq!(pair.baseline, pair.new);
         }
-        let err = check(&doc, &doc).unwrap_err();
+        // The same equal timings against a pre-PR 5 baseline still owe 2x.
+        let old = doc.replace(perf::MARKER, perf::MARKER_PR3);
+        let err = check(&doc, &old).unwrap_err();
         assert!(err.contains("full_change"), "gate must name the case: {err}");
+    }
+
+    #[test]
+    fn pr6_baseline_gates_full_change_regressions_only() {
+        let baseline = synthetic(|_, _| 1000.0).replace(perf::MARKER, perf::MARKER_PR6);
+        // Unchanged full_change passes — no speedup owed over PR 6…
+        check(&synthetic(|_, _| 1000.0), &baseline).expect("equal timings must pass");
+        // …but a real slowdown is still a regression.
+        let slow = synthetic(|_, case| if case == 2 { 2000.0 } else { 1000.0 });
+        let err = check(&slow, &baseline).unwrap_err();
+        assert!(err.contains("full_change"), "wrong violation: {err}");
+        assert!(err.contains("regressed"), "wrong violation: {err}");
+    }
+
+    #[test]
+    fn tick_stats_are_recomputed_from_embedded_sketches() {
+        let doc = synthetic(|_, _| 100.0);
+        let cmp = compare(&doc, &doc).expect("self compare parses");
+        let (baseline, new) = cmp.ticks.expect("both reports embed tick sketches");
+        assert_eq!(baseline, new);
+        assert_eq!(baseline.ticks, 3);
+        // p50 of {10, 20, 30} µs resolves to ~20 µs within sketch error.
+        assert!(
+            (baseline.p50_us - 20.0).abs() <= 20.0 * 0.04,
+            "p50 {} µs",
+            baseline.p50_us
+        );
+        assert!(cmp.to_string().contains("decision tick"), "delta line missing");
+
+        // A baseline predating the tick sketch yields no delta.
+        let mut old = synthetic_report(|_, _| 100.0);
+        old.decision_tick = None;
+        let old = old.to_json().replace(perf::MARKER, perf::MARKER_PR6);
+        let cmp = compare(&doc, &old).expect("pre-PR 7 baseline parses");
+        assert!(cmp.ticks.is_none());
+        assert!(!cmp.to_string().contains("decision tick"));
     }
 
     #[test]

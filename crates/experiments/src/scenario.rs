@@ -19,6 +19,7 @@
 //! methodology of repeating one Monkey script with and without the
 //! proposed system (§4).
 
+use crate::profile::Profiler;
 use ccdem_compositor::flinger::{ComposeOutcome, SurfaceFlinger};
 use ccdem_core::governor::{Governor, GovernorConfig, Policy};
 use ccdem_obs::Obs;
@@ -143,6 +144,12 @@ pub struct Scenario {
     /// panel) emit structured events through it. Telemetry never feeds
     /// back into the simulation, so results are identical either way.
     pub obs: Obs,
+    /// Whether to profile the decision path: wrap compose, metering,
+    /// governor decisions, and rate requests in spans that record host
+    /// latency into the global `profile.*` sketches (see
+    /// [`Profiler`]). Off by default; like
+    /// `obs`, profiling is strictly outward and never changes results.
+    pub profile: bool,
 }
 
 impl Scenario {
@@ -160,6 +167,7 @@ impl Scenario {
             seed: 0xC0DE,
             status_bar: false,
             obs: Obs::disabled(),
+            profile: false,
         }
     }
 
@@ -201,6 +209,12 @@ impl Scenario {
     /// Routes run telemetry through `obs` (see the `obs` field).
     pub fn with_obs(mut self, obs: Obs) -> Scenario {
         self.obs = obs;
+        self
+    }
+
+    /// Turns on the decision-path profiler (see the `profile` field).
+    pub fn with_profiling(mut self) -> Scenario {
+        self.profile = true;
         self
     }
 
@@ -318,6 +332,7 @@ struct Engine<'a> {
     input: InputContext,
     script: MonkeyScript,
     obs: Obs,
+    profiler: Option<Profiler>,
 }
 
 impl<'a> Engine<'a> {
@@ -399,6 +414,7 @@ impl<'a> Engine<'a> {
             input: InputContext::default(),
             script,
             obs: scenario.obs.clone(),
+            profiler: scenario.profile.then(Profiler::from_global_registry),
         }
     }
 
@@ -449,10 +465,26 @@ impl<'a> Engine<'a> {
         if let Some(rate) = self.controller.poll(edge) {
             self.vsync.set_rate(rate);
         }
-        if let ComposeOutcome::Composed { damage, .. } = self.flinger.compose(edge) {
+        let outcome = {
+            // The span borrows `self.obs` while the compositor mutates
+            // `self.flinger`; fields are disjoint, so this measures the
+            // compose call without an extra scope dance.
+            let _compose = self.profiler.as_ref().map(|p| {
+                self.obs
+                    .span("profile.compose", edge)
+                    .record_self_into(p.compose.clone())
+            });
+            self.flinger.compose(edge)
+        };
+        if let ComposeOutcome::Composed { damage, .. } = outcome {
             let generation = self.flinger.framebuffer().generation();
             self.obs.emit("framebuffer.update", edge, |event| {
                 event.field("generation", generation);
+            });
+            let _gather = self.profiler.as_ref().map(|p| {
+                self.obs
+                    .span("profile.meter_gather", edge)
+                    .record_self_into(p.meter_gather.clone())
             });
             self.governor.on_framebuffer_update_damaged(
                 self.flinger.framebuffer(),
@@ -466,10 +498,32 @@ impl<'a> Engine<'a> {
     }
 
     fn on_control_tick(&mut self, now: SimTime) {
-        let rate = self.governor.decide(now);
-        self.controller
-            .request(rate, now)
-            .expect("governor only emits supported rates");
+        // Total tick latency (decide + request + rescheduling); the two
+        // inner spans record their self time, so phase self times plus
+        // untracked spill sum to this total.
+        let _tick = self.profiler.as_ref().map(|p| {
+            self.obs
+                .span("profile.decision_tick", now)
+                .record_total_into(p.decision_tick.clone())
+        });
+        let rate = {
+            let _decide = self.profiler.as_ref().map(|p| {
+                self.obs
+                    .span("profile.governor_decide", now)
+                    .record_self_into(p.governor_decide.clone())
+            });
+            self.governor.decide(now)
+        };
+        {
+            let _switch = self.profiler.as_ref().map(|p| {
+                self.obs
+                    .span("profile.panel_switch", now)
+                    .record_self_into(p.panel_switch.clone())
+            });
+            self.controller
+                .request(rate, now)
+                .expect("governor only emits supported rates");
+        }
         self.queue.schedule(
             now + self.scenario.governor.control_window(),
             Event::ControlTick,
@@ -782,6 +836,40 @@ mod tests {
         assert_eq!(governed.policy, Policy::SectionOnly);
         assert_eq!(baseline.policy, Policy::FixedMax);
         assert!(governed.avg_power_mw < baseline.avg_power_mw);
+    }
+
+    #[test]
+    fn profiled_run_matches_silent_run_and_fills_sketches() {
+        let scenario = Scenario::new(Workload::App(catalog::facebook()), Policy::SectionWithBoost)
+            .at_quarter_resolution()
+            .with_duration(SimDuration::from_secs(6))
+            .with_seed(7);
+        let silent = scenario.run();
+        let before = ccdem_obs::metrics().snapshot();
+        let profiled = scenario.clone().with_profiling().run();
+        let delta = ccdem_obs::metrics().snapshot().delta_since(&before);
+        // Profiling is strictly outward: identical results, field for field.
+        assert_eq!(silent, profiled);
+        let count = |name: &str| {
+            delta
+                .sketches
+                .get(name)
+                .unwrap_or_else(|| panic!("{name} sketch missing"))
+                .count()
+        };
+        // 6 s at the default 500 ms control window: ticks at 0.5 .. 5.5 s.
+        assert_eq!(count("profile.decision_tick"), 11);
+        assert_eq!(count("profile.governor_decide"), 11);
+        assert_eq!(count("profile.panel_switch"), 11);
+        assert!(count("profile.compose") > 0, "no composes profiled");
+        assert!(count("profile.meter_gather") > 0, "no gathers profiled");
+        // Self times of the inner phases never exceed the tick totals.
+        let sum = |name: &str| delta.sketches[name].sum();
+        assert!(
+            sum("profile.governor_decide") + sum("profile.panel_switch")
+                <= sum("profile.decision_tick"),
+            "phase self time exceeds tick totals"
+        );
     }
 
     #[test]

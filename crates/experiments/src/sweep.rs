@@ -28,6 +28,7 @@ use ccdem_workloads::app::AppClass;
 use ccdem_workloads::catalog;
 use ccdem_workloads::phased::AppSpec;
 
+use crate::campaign::CampaignStats;
 use crate::scenario::{RunResult, RunScratch, Scenario, Workload};
 
 /// The two governed policies evaluated against the baseline.
@@ -52,6 +53,10 @@ pub struct SweepConfig {
     /// double-gather metering). Results are bit-identical to the fast
     /// path; used by equivalence tests and the benchmark harness.
     pub naive_metering: bool,
+    /// Profile the decision path of every run into the global
+    /// `profile.*` sketches (see [`Profiler`](crate::profile::Profiler)).
+    /// Strictly outward: results are byte-identical either way.
+    pub profile: bool,
 }
 
 impl Default for SweepConfig {
@@ -62,6 +67,7 @@ impl Default for SweepConfig {
             quarter_resolution: true,
             jobs: 0,
             naive_metering: false,
+            profile: false,
         }
     }
 }
@@ -155,6 +161,23 @@ pub fn run_timed(config: &SweepConfig) -> (Sweep, TimingReport) {
 /// [`Sweep`] stays byte-identical to an un-instrumented one (this is
 /// asserted by the `obs_determinism` integration test).
 pub fn run_timed_with_obs(config: &SweepConfig, obs: &Obs) -> (Sweep, TimingReport) {
+    let (sweep, report, _) = run_timed_with_campaign(config, obs);
+    (sweep, report)
+}
+
+/// [`run_timed_with_obs`], additionally folding every completed run into
+/// a streaming [`CampaignStats`] as it finishes.
+///
+/// The fold happens on the calling thread in run *completion* order — a
+/// `campaign.progress` event (running count plus headline percentiles)
+/// goes out on `obs` after each run, and a final deterministic
+/// `campaign.end` once every run has folded in. Because sketch folding
+/// is order-independent, the returned statistics are identical for any
+/// worker count even though the progress lines are not.
+pub fn run_timed_with_campaign(
+    config: &SweepConfig,
+    obs: &Obs,
+) -> (Sweep, TimingReport, CampaignStats) {
     let specs = catalog::all_apps();
     let items: Vec<(usize, AppSpec, Policy)> = specs
         .into_iter()
@@ -174,24 +197,37 @@ pub fn run_timed_with_obs(config: &SweepConfig, obs: &Obs) -> (Sweep, TimingRepo
     });
     let mut span = obs.span("sweep", ccdem_simkit::time::SimTime::ZERO);
     span.field("runs", items.len());
-    let runs = runner.run_many_with(items, RunScratch::new, |scratch, _, (app_index, spec, policy)| {
-        let seed = derive_seed(config.seed, app_index as u64);
-        let run_started = Instant::now(); // ccdem-lint: allow(determinism) — timing only
-        let mut s = Scenario::new(Workload::App(spec), policy)
-            .with_duration(config.duration)
-            .with_seed(seed)
-            .with_naive_metering(config.naive_metering)
-            .with_obs(obs.clone());
-        if config.quarter_resolution {
-            s = s.at_quarter_resolution();
-        }
-        let result = s.run_with_scratch(scratch);
-        let timing = RunTiming::new(
-            format!("{} / {}", result.app_name, policy),
-            run_started.elapsed(),
-        );
-        (result, timing)
-    });
+    let total = items.len();
+    let mut campaign = CampaignStats::new();
+    let runs = runner.run_many_observed(
+        items,
+        RunScratch::new,
+        |scratch, _, (app_index, spec, policy)| {
+            let seed = derive_seed(config.seed, app_index as u64);
+            let run_started = Instant::now(); // ccdem-lint: allow(determinism) — timing only
+            let mut s = Scenario::new(Workload::App(spec), policy)
+                .with_duration(config.duration)
+                .with_seed(seed)
+                .with_naive_metering(config.naive_metering)
+                .with_obs(obs.clone());
+            if config.profile {
+                s = s.with_profiling();
+            }
+            if config.quarter_resolution {
+                s = s.at_quarter_resolution();
+            }
+            let result = s.run_with_scratch(scratch);
+            let timing = RunTiming::new(
+                format!("{} / {}", result.app_name, policy),
+                run_started.elapsed(),
+            );
+            (result, timing)
+        },
+        |_, (result, _)| {
+            campaign.observe_run(result);
+            campaign.emit_progress(obs, total);
+        },
+    );
 
     let mut report = TimingReport::new(runner.jobs());
     let mut apps = Vec::new();
@@ -214,7 +250,8 @@ pub fn run_timed_with_obs(config: &SweepConfig, obs: &Obs) -> (Sweep, TimingRepo
         });
     }
     report.finish(started.elapsed());
-    (Sweep { apps }, report)
+    campaign.emit_end(obs);
+    (Sweep { apps }, report, campaign)
 }
 
 impl Sweep {
@@ -391,6 +428,7 @@ mod tests {
                 quarter_resolution: true,
                 jobs: 0,
                 naive_metering: false,
+                profile: false,
             })
         })
     }

@@ -19,6 +19,7 @@ fn config(jobs: usize) -> SweepConfig {
         quarter_resolution: true,
         jobs,
         naive_metering: false,
+        profile: false,
     }
 }
 
@@ -29,7 +30,13 @@ fn jsonl_telemetry_does_not_change_sweep_results() {
     let path = std::env::temp_dir().join("ccdem_obs_determinism.jsonl");
     let sink = Arc::new(JsonlSink::create(&path).expect("create JSONL sink"));
     let obs = Obs::to_sink(sink.clone());
-    let (traced, _timing) = sweep::run_timed_with_obs(&config(4), &obs);
+    // Hardest mode: four workers, a live sink, *and* the decision-path
+    // profiler — still byte-identical to the silent serial sweep.
+    let traced_config = SweepConfig {
+        profile: true,
+        ..config(4)
+    };
+    let (traced, _timing) = sweep::run_timed_with_obs(&traced_config, &obs);
     obs.flush();
 
     // Byte-identical result sets: four telemetry-emitting workers vs one
@@ -58,8 +65,34 @@ fn jsonl_telemetry_does_not_change_sweep_results() {
     let ends = lines.iter().filter(|l| l.contains("\"event\":\"run.end\"")).count();
     assert_eq!(starts, runs, "expected one run.start per run");
     assert_eq!(ends, runs, "expected one run.end per run");
+    // The streaming aggregator reported progress after every completed
+    // run, and exactly one final deterministic summary.
+    let progress = lines
+        .iter()
+        .filter(|l| l.contains("\"event\":\"campaign.progress\""))
+        .count();
+    let campaign_ends = lines
+        .iter()
+        .filter(|l| l.contains("\"event\":\"campaign.end\""))
+        .count();
+    assert_eq!(progress, runs, "expected one campaign.progress per run");
+    assert_eq!(campaign_ends, 1, "expected exactly one campaign.end");
 
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn campaign_statistics_are_identical_for_any_worker_count() {
+    // The observer folds runs in completion order, which differs between
+    // worker counts — but sketch folding is order-independent, so the
+    // final statistics must match exactly.
+    let (_, _, serial) = sweep::run_timed_with_campaign(&config(1), &Obs::disabled());
+    let (_, _, parallel) = sweep::run_timed_with_campaign(&config(4), &Obs::disabled());
+    assert_eq!(serial.runs(), 90);
+    assert_eq!(serial, parallel, "campaign stats depend on completion order");
+    // Headline quantiles resolve to sane values in natural units.
+    let p50 = serial.quantile("avg_power_mw", 0.5).expect("p50 power");
+    assert!(p50 > 50.0 && p50 < 2_000.0, "implausible p50 power {p50} mW");
 }
 
 #[test]

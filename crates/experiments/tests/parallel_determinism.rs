@@ -15,6 +15,7 @@ fn config(jobs: usize) -> SweepConfig {
         quarter_resolution: true,
         jobs,
         naive_metering: false,
+        profile: false,
     }
 }
 

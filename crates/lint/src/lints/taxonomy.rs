@@ -7,8 +7,8 @@
 //! * **emitted ⇒ documented** — every event-name / metric-name string
 //!   literal passed to `Obs::emit`, `Obs::span`, `Event::new`,
 //!   `obs_event!`, or the registry constructors (`counter` / `gauge` /
-//!   `histogram`) must appear in the table; an undocumented name is
-//!   flagged at its call site.
+//!   `histogram` / `sketch`) must appear in the table; an undocumented
+//!   name is flagged at its call site.
 //! * **documented ⇒ emitted** — every name in the table must be emitted
 //!   somewhere; a stale row is flagged at its DESIGN.md line.
 //!
@@ -18,11 +18,14 @@
 use crate::diag::{Diagnostic, LintId};
 use crate::source::SourceFile;
 
-/// Crates never scanned for emissions: `obs` is the framework (its
-/// name arguments are parameters, its literals live in tests and docs),
-/// the shims and bench harness are out of telemetry scope, and the lint
-/// itself matches on these method names.
-pub const SCAN_EXEMPT_CRATES: [&str; 4] = ["obs", "proptest", "criterion", "lint"];
+/// Crates never scanned for emissions: the shims and bench harness are
+/// out of telemetry scope, and the lint itself matches on these method
+/// names. The `obs` framework crate *is* scanned — it registers its own
+/// `obs.events_dropped` / `obs.io_errors` sink-health counters, which
+/// must stay documented like any other metric (its name parameters and
+/// doc/test literals don't trip the lint: parameters aren't literals,
+/// and doc comments lex as single tokens).
+pub const SCAN_EXEMPT_CRATES: [&str; 3] = ["proptest", "criterion", "lint"];
 
 /// A name used at a call site.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,7 +55,7 @@ pub fn collect(file: &SourceFile, out: &mut Vec<Emission>) {
         };
         let (event_method, metric_method) = match name {
             "emit" | "span" => (true, false),
-            "counter" | "gauge" | "histogram" => (false, true),
+            "counter" | "gauge" | "histogram" | "sketch" => (false, true),
             "new" | "obs_event" => (false, false),
             _ => continue,
         };

@@ -31,7 +31,7 @@ pub mod table;
 pub mod timing;
 
 pub use latency::{input_to_photon, LatencySummary};
-pub use obs_report::obs_summary;
+pub use obs_report::{obs_summary, profile_summary};
 pub use quality::{display_quality, display_quality_pct, dropped_fps};
 pub use summary::{AppRunSummary, ClassAggregate};
 pub use table::TextTable;

@@ -127,6 +127,67 @@ impl Json {
     }
 }
 
+/// Serializes any [`Json`] value into `out` as compact standard JSON.
+///
+/// The inverse of [`parse`] up to number formatting: numbers use Rust's
+/// shortest round-trip `f64` formatting, so `parse(serialize(v)) == v`
+/// for every finite tree (the parser never produces non-finite numbers;
+/// should one be constructed by hand it serializes as `null`).
+///
+/// # Examples
+///
+/// ```
+/// use ccdem_obs::json::{parse, write_json, Json};
+///
+/// let doc = Json::Arr(vec![Json::Num(1.5), Json::Str("a\"b".into()), Json::Null]);
+/// let mut out = String::new();
+/// write_json(&mut out, &doc);
+/// assert_eq!(out, r#"[1.5,"a\"b",null]"#);
+/// assert_eq!(parse(&out).unwrap(), doc);
+/// ```
+pub fn write_json(out: &mut String, value: &Json) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) if n.is_finite() => {
+            let _ = write!(out, "{n}");
+        }
+        Json::Num(_) => out.push_str("null"),
+        Json::Str(s) => write_string(out, s),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(out, item);
+            }
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            out.push('{');
+            for (i, (key, member)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, key);
+                out.push(':');
+                write_json(out, member);
+            }
+            out.push('}');
+        }
+    }
+}
+
+impl std::fmt::Display for Json {
+    /// Compact JSON text, as produced by [`write_json`].
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        write_json(&mut out, self);
+        f.write_str(&out)
+    }
+}
+
 /// Parses one JSON document.
 ///
 /// # Errors
@@ -392,6 +453,25 @@ mod tests {
             other => panic!("expected array, got {other:?}"),
         }
         assert_eq!(doc.get("c").and_then(Json::as_str), Some("é"));
+    }
+
+    #[test]
+    fn write_json_round_trips_nested_trees() {
+        let doc = Json::Obj(vec![
+            ("a".into(), Json::Arr(vec![Json::Num(1.0), Json::Num(-2.5e300)])),
+            ("esc\n".into(), Json::Str("tab\there \u{1F600}".into())),
+            ("deep".into(), Json::Arr(vec![Json::Obj(vec![("x".into(), Json::Null)])])),
+            ("flag".into(), Json::Bool(false)),
+        ]);
+        let text = doc.to_string();
+        assert_eq!(parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn write_json_turns_nonfinite_numbers_into_null() {
+        let mut out = String::new();
+        write_json(&mut out, &Json::Arr(vec![Json::Num(f64::NAN), Json::Num(f64::INFINITY)]));
+        assert_eq!(out, "[null,null]");
     }
 
     #[test]

@@ -13,11 +13,13 @@
 //!   times are measurement about the harness and never feed back into a
 //!   simulation.
 //! * **Metrics registry** ([`registry`]) — process-wide named counters,
-//!   gauges, and fixed-bucket histograms with cheap relaxed-atomic updates
-//!   on the hot path and a [`snapshot`](registry::MetricsRegistry::snapshot)
-//!   API for reports. Histogram snapshots materialise as
+//!   gauges, fixed-bucket histograms, and mergeable quantile sketches
+//!   ([`sketch`]) with cheap relaxed-atomic updates on the hot path and a
+//!   [`snapshot`](registry::MetricsRegistry::snapshot) API for reports.
+//!   Histogram snapshots materialise as
 //!   [`ccdem_simkit::histogram::Histogram`] so they drop straight into the
-//!   existing text reports.
+//!   existing text reports; sketch snapshots merge exactly and
+//!   order-independently, the substrate for fleet-level percentiles.
 //! * **Sinks** ([`sink`]) — where events go: nowhere by default
 //!   ([`sink::NullSink`]), an in-memory ring buffer for tests
 //!   ([`sink::RingSink`]), or a JSON-lines writer
@@ -51,11 +53,13 @@ pub mod json;
 pub mod progress;
 pub mod registry;
 pub mod sink;
+pub mod sketch;
 pub mod span;
 
 pub use event::{Event, Value};
 pub use registry::{metrics, AtomicHistogram, Counter, Gauge, MetricsRegistry, MetricsSnapshot};
 pub use sink::{EventSink, JsonlSink, NullSink, RingSink};
+pub use sketch::{AtomicSketch, QuantileSketch};
 pub use span::Span;
 
 use std::sync::Arc;

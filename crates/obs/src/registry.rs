@@ -17,6 +17,8 @@ use std::sync::{Arc, Mutex};
 
 use ccdem_simkit::histogram::Histogram;
 
+use crate::sketch::{AtomicSketch, QuantileSketch};
+
 /// A monotonically increasing atomic counter.
 #[derive(Default)]
 pub struct Counter(AtomicU64);
@@ -179,6 +181,7 @@ pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<&'static str, Arc<AtomicHistogram>>>,
+    sketches: Mutex<BTreeMap<&'static str, Arc<AtomicSketch>>>,
 }
 
 impl MetricsRegistry {
@@ -188,6 +191,7 @@ impl MetricsRegistry {
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
+            sketches: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -213,6 +217,15 @@ impl MetricsRegistry {
             .clone()
     }
 
+    /// The quantile sketch named `name`, created at
+    /// [`DEFAULT_PRECISION`](crate::sketch::DEFAULT_PRECISION) on first
+    /// use. All registry sketches share one precision so snapshots and
+    /// deltas always merge exactly.
+    pub fn sketch(&self, name: &'static str) -> Arc<AtomicSketch> {
+        let mut map = self.sketches.lock().unwrap_or_else(|p| p.into_inner());
+        map.entry(name).or_insert_with(|| Arc::new(AtomicSketch::new())).clone()
+    }
+
     /// A point-in-time copy of every metric's value.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let counters = self
@@ -236,10 +249,18 @@ impl MetricsRegistry {
             .iter()
             .map(|(name, h)| (name.to_string(), h.snapshot()))
             .collect();
+        let sketches = self
+            .sketches
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(name, s)| (name.to_string(), s.snapshot()))
+            .collect();
         MetricsSnapshot {
             counters,
             gauges,
             histograms,
+            sketches,
         }
     }
 }
@@ -259,6 +280,8 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram contents by name.
     pub histograms: BTreeMap<String, Histogram>,
+    /// Quantile sketch contents by name.
+    pub sketches: BTreeMap<String, QuantileSketch>,
 }
 
 impl MetricsSnapshot {
@@ -297,19 +320,32 @@ impl MetricsSnapshot {
                 (name.clone(), delta)
             })
             .collect();
+        let sketches = self
+            .sketches
+            .iter()
+            .map(|(name, now)| {
+                let delta = match earlier.sketches.get(name) {
+                    Some(before) => now.delta_since(before),
+                    None => now.clone(),
+                };
+                (name.clone(), delta)
+            })
+            .collect();
         MetricsSnapshot {
             counters,
             gauges: self.gauges.clone(),
             histograms,
+            sketches,
         }
     }
 
     /// Whether the snapshot records no activity: all counters zero and
-    /// all histograms empty (gauges are levels, not activity, and are
-    /// ignored here).
+    /// all histograms and sketches empty (gauges are levels, not
+    /// activity, and are ignored here).
     pub fn is_empty(&self) -> bool {
         self.counters.values().all(|&v| v == 0)
             && self.histograms.values().all(|h| h.total() == 0)
+            && self.sketches.values().all(QuantileSketch::is_empty)
     }
 }
 
@@ -399,6 +435,23 @@ mod tests {
         assert_eq!(delta.histograms["h"].bin_count(0), 1);
         assert_eq!(delta.histograms["h"].bin_count(1), 1);
         assert_eq!(delta.gauges["g"], 4.0);
+        assert!(!delta.is_empty());
+    }
+
+    #[test]
+    fn sketches_register_snapshot_and_delta() {
+        let registry = MetricsRegistry::new();
+        let s = registry.sketch("profile.test_phase");
+        s.record(100);
+        let before = registry.snapshot();
+        assert_eq!(before.sketches["profile.test_phase"].count(), 1);
+        registry.sketch("profile.test_phase").record(5000);
+        s.record(5100);
+        let delta = registry.snapshot().delta_since(&before);
+        let sketch = &delta.sketches["profile.test_phase"];
+        assert_eq!(sketch.count(), 2);
+        let p50 = sketch.quantile(0.5).unwrap() as f64;
+        assert!((p50 - 5000.0).abs() <= 5000.0 * sketch.relative_error());
         assert!(!delta.is_empty());
     }
 

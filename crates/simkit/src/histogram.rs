@@ -154,6 +154,51 @@ impl Histogram {
     pub fn total(&self) -> u64 {
         self.bins.iter().sum::<u64>() + self.underflow + self.overflow
     }
+
+    /// Folds `other`'s counts into `self` bin-wise.
+    ///
+    /// Because both histograms place each sample by value into the same
+    /// fixed bins, the merge is exact: merging per-worker histograms in
+    /// any order yields the identical result as recording every sample
+    /// into one histogram (it is commutative and associative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ (`lo`, `hi`, or bin count) — merging
+    /// across shapes would silently re-bucket samples.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ccdem_simkit::histogram::Histogram;
+    ///
+    /// let mut a = Histogram::new(0.0, 10.0, 5);
+    /// let mut b = Histogram::new(0.0, 10.0, 5);
+    /// a.record(1.0);
+    /// b.record(1.5);
+    /// b.record(11.0);
+    /// a.merge(&b);
+    /// assert_eq!(a.bin_count(0), 2);
+    /// assert_eq!(a.overflow(), 1);
+    /// assert_eq!(a.total(), 3);
+    /// ```
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "cannot merge histograms of different shape: [{}, {}) x{} vs [{}, {}) x{}",
+            self.lo,
+            self.hi,
+            self.bins.len(),
+            other.lo,
+            other.hi,
+            other.bins.len()
+        );
+        for (mine, theirs) in self.bins.iter_mut().zip(&other.bins) {
+            *mine += theirs;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
 }
 
 impl Extend<f64> for Histogram {
@@ -228,6 +273,31 @@ mod tests {
         let hashes = |l: &str| l.matches('#').count();
         assert_eq!(hashes(lines[0]), 40);
         assert!(hashes(lines[1]) < 40 && hashes(lines[1]) > 0);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one() {
+        let samples: Vec<f64> = (0..200).map(|i| f64::from(i) * 0.37 - 5.0).collect();
+        let mut whole = Histogram::new(0.0, 50.0, 7);
+        let mut left = Histogram::new(0.0, 50.0, 7);
+        let mut right = Histogram::new(0.0, 50.0, 7);
+        for (i, &v) in samples.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 { left.record(v) } else { right.record(v) }
+        }
+        let mut lr = left.clone();
+        lr.merge(&right);
+        let mut rl = right.clone();
+        rl.merge(&left);
+        assert_eq!(lr, whole);
+        assert_eq!(rl, whole, "merge must be commutative");
+    }
+
+    #[test]
+    #[should_panic(expected = "different shape")]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        a.merge(&Histogram::new(0.0, 10.0, 6));
     }
 
     #[test]

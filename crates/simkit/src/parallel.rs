@@ -37,7 +37,7 @@
 //! ```
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
 
 /// Derives a per-run seed as a pure function of a root seed and a stream
 /// index. Uses the SplitMix64 finalizer, so nearby indices yield
@@ -207,6 +207,109 @@ impl ParallelRunner {
             .map(|r| r.expect("worker completed every drained job")) // ccdem-lint: allow(panic)
             .collect()
     }
+
+    /// [`run_many_with`](Self::run_many_with) plus a **streaming
+    /// observer**: as each item completes, `observe(index, &result)` runs
+    /// on the *calling thread* before the result is slotted, so a sweep
+    /// can fold per-run metric deltas into campaign-level aggregates
+    /// online — memory stays bounded by the aggregate, never by the run
+    /// count — and emit progress while workers are still busy.
+    ///
+    /// Ordering contract: results are returned in input order as always,
+    /// but `observe` sees them in **completion order**, which is
+    /// scheduling-dependent. Observers must therefore be order-oblivious
+    /// folds (e.g. mergeable sketches, whose merge is commutative and
+    /// associative) for their final state to be deterministic; anything
+    /// order-sensitive they surface (like progress lines) is monitoring,
+    /// not results. With one worker (or one item) `observe` runs inline
+    /// after each item, in input order — the exact serial path.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `init`, `f`, or `observe`
+    /// (after all workers stop).
+    pub fn run_many_observed<S, T, R, I, F, O>(
+        &self,
+        items: Vec<T>,
+        init: I,
+        f: F,
+        mut observe: O,
+    ) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, T) -> R + Sync,
+        O: FnMut(usize, &R),
+    {
+        let n = items.len();
+        let jobs = self.jobs.min(n).max(1);
+        if jobs == 1 {
+            let mut state = init();
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let result = f(&mut state, i, t);
+                    observe(i, &result);
+                    result
+                })
+                .collect();
+        }
+
+        let chunk = n.div_ceil(jobs * 4).max(1);
+        let queue: Mutex<VecDeque<(usize, T)>> =
+            Mutex::new(items.into_iter().enumerate().collect());
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<(usize, R)>();
+            for _ in 0..jobs {
+                let tx = tx.clone();
+                scope.spawn(|| {
+                    let tx = tx; // move the clone, not the original
+                    let mut state: Option<S> = None;
+                    loop {
+                        let batch: Vec<(usize, T)> = {
+                            // ccdem-lint: allow(panic) — poisoned lock means a
+                            // worker already panicked; re-raising is correct
+                            let mut q = queue.lock().expect("queue poisoned");
+                            let take = chunk.min(q.len());
+                            if take == 0 {
+                                break;
+                            }
+                            q.drain(..take).collect()
+                        };
+                        for (index, item) in batch {
+                            let result = f(state.get_or_insert_with(&init), index, item);
+                            if tx.send((index, result)).is_err() {
+                                // Receiver gone: the calling thread is
+                                // unwinding; stop quietly.
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            // Drain on the calling thread until every worker clone hangs
+            // up; a worker panic closes the channel early and the scope
+            // re-raises it after this loop ends.
+            while let Ok((index, result)) = rx.recv() {
+                observe(index, &result);
+                // ccdem-lint: allow(panic) — workers only send indices
+                // of the items slice, which sized this vec.
+                results[index] = Some(result);
+            }
+        });
+
+        results
+            .into_iter()
+            // ccdem-lint: allow(panic) — every index was sent exactly once
+            // before the workers hung up
+            .map(|r| r.expect("worker completed every drained job"))
+            .collect()
+    }
 }
 
 /// Convenience free function: [`ParallelRunner::run_many`] with `jobs`
@@ -328,6 +431,57 @@ mod tests {
         let plain = ParallelRunner::new(4).run_many(items.clone(), work);
         let with = ParallelRunner::new(4).run_many_with(items, || (), |(), i, x| work(i, x));
         assert_eq!(plain, with);
+    }
+
+    #[test]
+    fn observed_results_match_unobserved_in_input_order() {
+        let work = |i: usize, x: u64| derive_seed(x, i as u64);
+        let items: Vec<u64> = (0..200).map(|i| i * 11).collect();
+        let plain = ParallelRunner::new(4).run_many(items.clone(), work);
+        let mut seen = Vec::new();
+        let observed = ParallelRunner::new(4).run_many_observed(
+            items,
+            || (),
+            |(), i, x| work(i, x),
+            |i, r| seen.push((i, *r)),
+        );
+        assert_eq!(observed, plain);
+        // Every result was observed exactly once, with the value that was
+        // returned for that index (completion order is unspecified).
+        assert_eq!(seen.len(), observed.len());
+        seen.sort_unstable();
+        for (i, r) in seen {
+            assert_eq!(r, observed[i]);
+        }
+    }
+
+    #[test]
+    fn observed_serial_path_runs_observer_in_input_order() {
+        let mut order = Vec::new();
+        let out = ParallelRunner::new(1).run_many_observed(
+            vec![10u64, 20, 30],
+            || (),
+            |(), _, x| x + 1,
+            |i, r| order.push((i, *r)),
+        );
+        assert_eq!(out, vec![11, 21, 31]);
+        assert_eq!(order, vec![(0, 11), (1, 21), (2, 31)]);
+    }
+
+    #[test]
+    fn observer_runs_on_the_calling_thread() {
+        let caller = std::thread::current().id();
+        ParallelRunner::new(4).run_many_observed(
+            vec![(); 64],
+            || (),
+            |(), _, ()| std::thread::current().id(),
+            |_, worker| {
+                assert_eq!(std::thread::current().id(), caller);
+                // Under >1 jobs at least some work happens off-thread, but
+                // observation never does.
+                let _ = worker;
+            },
+        );
     }
 
     #[test]

@@ -9,20 +9,28 @@ cargo test -q
 cargo test -q --workspace
 # The trace CLI end-to-end: binary runs, JSONL parses, taxonomy holds.
 cargo test -q --test trace_jsonl
-# Bench smoke: the fast-path benchmark runs, its JSON parses, and the
-# redundant-frame pixel-read reduction holds (ccdem bench --check fails
-# on malformed or regressed output).
+# Profile smoke: the decision-path profiler end-to-end — binary runs,
+# every JSONL line parses, exactly one self-time table prints.
+cargo test -q --test profile_jsonl
+# Bench smoke: the fast-path benchmark runs, its JSON parses, the
+# redundant-frame pixel-read reduction holds, and the freshly measured
+# decision-tick p99 fits the budget (ccdem bench --check fails on
+# malformed or regressed output).
 cargo run --release -q --bin ccdem -- bench --quick --out target/bench_smoke.json
 cargo run --release -q --bin ccdem -- bench --check target/bench_smoke.json
 # Speedup gates on the *committed* reports (deterministic: no fresh
 # measurement involved): the row-run engine must halve full_change at
-# the full grid over PR 3, and the tile-signature engine must beat the
-# row-run engine by 1.5x there; neither may regress
-# redundant/small_damage.
+# the full grid over PR 3, the tile-signature engine must beat the
+# row-run engine by 1.5x there, and the streaming-telemetry generation
+# must not regress it; none may regress redundant/small_damage, and the
+# PR 7 report's decision-tick p99 must fit its budget.
 cargo run --release -q --bin ccdem -- bench --check BENCH_PR5.json --baseline BENCH_PR3.json
 cargo run --release -q --bin ccdem -- bench --check BENCH_PR6.json --baseline BENCH_PR5.json
-# Compare-table smoke via the shell wrapper (exercises --compare).
+cargo run --release -q --bin ccdem -- bench --check BENCH_PR7.json --baseline BENCH_PR6.json
+# Compare-table smoke via the shell wrapper (exercises --compare and
+# the decision-tick delta line).
 scripts/bench.sh --compare BENCH_PR3.json BENCH_PR5.json
+scripts/bench.sh --compare BENCH_PR6.json BENCH_PR7.json
 # Workspace static analysis (hard gate): determinism, panic-policy,
 # obs-taxonomy, and section-table invariants — see DESIGN.md §10.
 cargo run --release -q --bin ccdem -- lint --json

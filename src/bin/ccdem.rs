@@ -37,7 +37,7 @@ use ccdem::core::governor::Policy;
 use ccdem::core::section::SectionTable;
 use ccdem::experiments::export::write_timeseries_csv;
 use ccdem::experiments::{sweep, Scenario, Workload};
-use ccdem::metrics::obs_summary;
+use ccdem::metrics::{obs_summary, profile_summary};
 use ccdem::obs::{metrics, JsonlSink, Obs};
 use ccdem::panel::device::DeviceProfile;
 use ccdem::power::battery::Battery;
@@ -57,6 +57,7 @@ fn main() -> ExitCode {
         "table" => cmd_table(rest),
         "simulate" => cmd_simulate(rest),
         "trace" => cmd_trace(rest),
+        "profile" => cmd_profile(rest),
         "sweep" => cmd_sweep(rest, false),
         "report" => cmd_sweep(rest, true),
         "bench" => cmd_bench(rest),
@@ -84,6 +85,10 @@ fn print_usage() {
          trace --out <file.jsonl> [--app <name>] [--policy <p>]\n        \
          [--duration <secs>] [--seed <n>] [--full-res]\n                                \
          run one governed app; export decision-path telemetry as JSONL\n  \
+         profile [--app <name>] [--policy <p>] [--duration <secs>]\n          \
+         [--seed <n>] [--out <file.jsonl>] [--full-res]\n                                \
+         run one app with the decision-path profiler; print the\n                                \
+         per-phase self-time table and decision-tick percentiles\n  \
          sweep [--duration <secs>] [--seed <n>] [--jobs <n>] [--obs summary|none]\n                                \
          run the 30-app sweep; print Table 1 + timing\n  \
          report [--duration <secs>] [--seed <n>] [--jobs <n>] [--obs summary|none]\n                                \
@@ -92,7 +97,7 @@ fn print_usage() {
          [--check <file.json> [--baseline <file.json>]]\n        \
          [--compare <file.json> --baseline <file.json>]\n                                \
          measure the metering cost at the paper's five pixel\n                                \
-         budgets and write BENCH_PR6.json; --check validates an\n                                \
+         budgets and write BENCH_PR7.json; --check validates an\n                                \
          existing report (plus the speedup gate when --baseline\n                                \
          is given); --compare prints a baseline-vs-new delta table\n  \
          lint [--json] [--fix-baseline]\n                                \
@@ -332,6 +337,7 @@ fn cmd_sweep(args: &[String], full_report: bool) -> ExitCode {
         quarter_resolution: true,
         jobs,
         naive_metering: false,
+        profile: false,
     };
     progress!(
         "running the 30-app sweep (3 policies × 30 apps, {} s per run)…",
@@ -537,6 +543,87 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     println!("\ntelemetry metrics (1 run)");
     println!("{}", obs_summary(&delta, Some(1)));
     progress!("wrote {} JSONL events to {out}", sink.lines_written());
+    ExitCode::SUCCESS
+}
+
+fn cmd_profile(args: &[String]) -> ExitCode {
+    let flags = parse_or_fail!(
+        args,
+        &["--out", "--app", "--policy", "--duration", "--seed"],
+        &["--full-res"]
+    );
+    let app_name = flags.value("--app").unwrap_or("facebook");
+    let Some(spec) = catalog::by_name(app_name) else {
+        eprintln!("unknown app {app_name:?}; run `ccdem catalog` for the list");
+        return ExitCode::FAILURE;
+    };
+    let (policy, duration, seed) = match (
+        parse_policy(&flags),
+        parse_duration(&flags, "30"),
+        parse_seed(&flags, "49374"),
+    ) {
+        (Ok(p), Ok(d), Ok(s)) => (p, d, s),
+        (p, d, s) => {
+            for e in [p.err(), d.err().map(|e| e.to_string()), s.err()].into_iter().flatten() {
+                eprintln!("{e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The profiler records into the global sketch registry either way;
+    // --out additionally streams the span/event trace as JSONL.
+    let sink = match flags.value("--out") {
+        Some(out) => match JsonlSink::create(out) {
+            Ok(sink) => Some((Arc::new(sink), out)),
+            Err(e) => {
+                eprintln!("failed to create {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let obs = match &sink {
+        Some((sink, _)) => Obs::to_sink(sink.clone()),
+        None => Obs::disabled(),
+    };
+
+    let mut scenario = Scenario::new(Workload::App(spec), policy)
+        .with_duration(duration)
+        .with_seed(seed)
+        .with_obs(obs.clone())
+        .with_profiling();
+    if !flags.switch("--full-res") {
+        scenario = scenario.at_quarter_resolution();
+    }
+
+    progress!("profiling {app_name:?} under {policy} for {duration}…");
+    let before = metrics().snapshot();
+    let result = scenario.run();
+    obs.flush();
+    let delta = metrics().snapshot().delta_since(&before);
+
+    println!("app                 {}", result.app_name);
+    println!("policy              {policy}");
+    println!("average power       {:.1} mW", result.avg_power_mw);
+    println!(
+        "average refresh     {:.1} Hz ({} switches)",
+        result.avg_refresh_hz, result.refresh_switches
+    );
+    println!("display quality     {:.1}%", result.quality_pct());
+    println!();
+    println!("{}", profile_summary(&delta));
+    if let Some((sink, out)) = sink {
+        if sink.io_errors() > 0 {
+            eprintln!(
+                "warning: {} I/O errors writing {out}: {}",
+                sink.io_errors(),
+                sink.last_error().unwrap_or_default()
+            );
+            return ExitCode::FAILURE;
+        }
+        progress!("wrote {} JSONL events to {out}", sink.lines_written());
+    }
     ExitCode::SUCCESS
 }
 
