@@ -28,6 +28,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use ccdem_metrics::table::TextTable;
+use ccdem_obs::json::Json;
 use ccdem_obs::{Obs, QuantileSketch};
 use ccdem_simkit::time::SimTime;
 
@@ -45,6 +46,25 @@ pub const RUN_METRICS: [&str; 5] = [
     "dropped_fps",
     "refresh_switches",
 ];
+
+/// Every metric name any campaign observer can record — [`RUN_METRICS`]
+/// plus the ablation-only savings metric. [`CampaignStats::from_json`]
+/// accepts exactly this set, which is how parsed names regain their
+/// `&'static str` identity.
+pub const KNOWN_METRICS: [&str; 6] = [
+    "avg_power_mw",
+    "avg_refresh_hz",
+    "quality_pct",
+    "dropped_fps",
+    "refresh_switches",
+    "saved_mw",
+];
+
+/// Maps a parsed metric name onto its `'static` counterpart, or `None`
+/// for a name no campaign observer records.
+fn intern_metric(name: &str) -> Option<&'static str> {
+    KNOWN_METRICS.iter().find(|&&known| known == name).copied()
+}
 
 /// Streaming aggregate over a campaign of runs.
 ///
@@ -204,6 +224,46 @@ impl CampaignStats {
         });
     }
 
+    /// Serializes the full aggregate — run count plus every metric's
+    /// sparse sketch (via [`QuantileSketch::to_json`]) — for checkpoints
+    /// and external tooling. Metric order is the `BTreeMap`'s sorted
+    /// order, so equal aggregates serialize to byte-identical documents.
+    pub fn to_json(&self) -> Json {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|(name, sketch)| ((*name).to_string(), sketch.to_json()))
+            .collect();
+        Json::Obj(vec![
+            ("runs".into(), Json::Num(self.runs as f64)),
+            ("metrics".into(), Json::Obj(metrics)),
+        ])
+    }
+
+    /// Rebuilds an aggregate from [`to_json`](Self::to_json) output.
+    /// The round trip is **exact**: every bucket count, sum, min, max
+    /// and the run count survive, so a resumed campaign continues to
+    /// byte-identical final statistics (pinned by a proptest in
+    /// `tests/`). Returns `None` on a malformed document, an unknown
+    /// metric name (see [`KNOWN_METRICS`]), or a malformed sketch.
+    pub fn from_json(doc: &Json) -> Option<CampaignStats> {
+        let runs = doc.get("runs")?.as_f64()?;
+        if runs < 0.0 || runs.fract() != 0.0 {
+            return None;
+        }
+        let Json::Obj(members) = doc.get("metrics")? else {
+            return None;
+        };
+        let mut metrics = BTreeMap::new();
+        for (name, sketch) in members {
+            metrics.insert(intern_metric(name)?, QuantileSketch::from_json(sketch)?);
+        }
+        Some(CampaignStats {
+            runs: runs as u64,
+            metrics,
+        })
+    }
+
     /// Headline (field, metric, quantile) triples shared by progress and
     /// end events. Fields for metrics a campaign never recorded are
     /// simply absent (sweeps report power, ablations savings).
@@ -358,5 +418,59 @@ mod tests {
         let mut stats = CampaignStats::new();
         stats.observe("saved_mw", -12.0);
         assert_eq!(stats.quantile("saved_mw", 0.5), Some(0.0));
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut rng = SimRng::seed_from_u64(0xF1EE7);
+        let mut stats = CampaignStats::new();
+        stats.runs = 321;
+        for _ in 0..500 {
+            stats.observe("avg_power_mw", rng.range_f64(0.0, 900.0));
+            stats.observe("quality_pct", rng.range_f64(0.0, 100.0));
+            stats.observe("saved_mw", rng.range_f64(-5.0, 80.0));
+        }
+        let doc = stats.to_json();
+        let back = CampaignStats::from_json(&doc).expect("own document parses");
+        assert_eq!(back, stats);
+        // And through the textual writer/parser as well.
+        let text = doc.to_string();
+        let reparsed = ccdem_obs::json::parse(&text).expect("valid JSON");
+        assert_eq!(CampaignStats::from_json(&reparsed), Some(stats));
+    }
+
+    #[test]
+    fn empty_stats_round_trip() {
+        let stats = CampaignStats::new();
+        assert_eq!(CampaignStats::from_json(&stats.to_json()), Some(stats));
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        use ccdem_obs::json::parse;
+        // Unknown metric names cannot regain a 'static identity.
+        let unknown = parse(r#"{"runs": 1, "metrics": {"bogus_metric": {}}}"#).unwrap();
+        assert_eq!(CampaignStats::from_json(&unknown), None);
+        // Fractional or negative run counts are nonsense.
+        let fractional = parse(r#"{"runs": 1.5, "metrics": {}}"#).unwrap();
+        assert_eq!(CampaignStats::from_json(&fractional), None);
+        let negative = parse(r#"{"runs": -2, "metrics": {}}"#).unwrap();
+        assert_eq!(CampaignStats::from_json(&negative), None);
+        // Missing members.
+        let empty = parse("{}").unwrap();
+        assert_eq!(CampaignStats::from_json(&empty), None);
+        // A malformed sketch inside a known metric.
+        let bad_sketch =
+            parse(r#"{"runs": 0, "metrics": {"avg_power_mw": {"precision": "x"}}}"#).unwrap();
+        assert_eq!(CampaignStats::from_json(&bad_sketch), None);
+    }
+
+    #[test]
+    fn known_metrics_cover_every_observer() {
+        for m in RUN_METRICS {
+            assert!(intern_metric(m).is_some(), "{m} missing from KNOWN_METRICS");
+        }
+        assert!(intern_metric("saved_mw").is_some());
+        assert!(intern_metric("not_a_metric").is_none());
     }
 }

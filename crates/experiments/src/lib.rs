@@ -12,6 +12,7 @@
 //! | [`fig7`] | Fig. 7 — content/refresh-rate traces under control |
 //! | [`fig8`] | Fig. 8 — saved-power traces (Facebook, Jelly Splash) |
 //! | [`sweep`] | Figs. 9–11 and Table 1 — the 30-app × policy sweep |
+//! | [`fleet`] | population-scale device campaigns with checkpoint/resume |
 //! | [`perf`] | the metering benchmark (`BENCH_PR3.json` … `BENCH_PR6.json`) |
 //! | [`perfcmp`] | report-vs-report delta table and the generation-keyed speedup gate |
 //! | [`perf_sweep`] | scratch-reuse wall-clock harness (fresh vs reused) |
@@ -33,6 +34,7 @@ pub mod fig3;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod fleet;
 pub mod generalize;
 pub mod perf;
 pub mod perf_sweep;

@@ -34,6 +34,23 @@
 //! decision tick exceeds [`DECISION_TICK_BUDGET_US`] — the paper's
 //! feasibility claim (§3.4, "negligible overhead per control window")
 //! made checkable from a committed artifact.
+//!
+//! The fleet-scheduler generation adds a **devices/sec throughput**
+//! measurement: the same sampled device population dispatched through
+//! the streaming work-stealing scheduler ([`crate::fleet::run`]) and
+//! through naive full materialization (a `Vec` of every
+//! [`crate::fleet::DeviceSpec`], then `ParallelRunner::run_many` with
+//! fresh per-run buffers, then a fold over the `Vec` of every result —
+//! `run_many`'s documented allocation contract). Both paths must
+//! produce *equal* [`crate::campaign::CampaignStats`] — the
+//! benchmark asserts it — so the comparison isolates dispatch overhead.
+//! [`validate`] checks the member's shape; the speedup floor
+//! ([`FLEET_SPEEDUP_FLOOR`]) is enforced by
+//! [`perfcmp::check`](crate::perfcmp::check), which CI runs against the
+//! committed release-built `BENCH_PR8.json` — debug-built smoke reports
+//! are structurally valid but their dispatch delta drowns in
+//! interpreter-speed noise, so the timing gate keys off the committed
+//! artifact, exactly like the budget-speedup gates before it.
 
 use std::fmt;
 use std::time::Instant;
@@ -57,10 +74,16 @@ use crate::sweep::{self, SweepConfig};
 /// The benchmark's frame shapes, in report order.
 pub const CASES: [&str; 4] = ["redundant", "small_damage", "full_change", "naive_redundant"];
 
-/// The `"bench"` marker newly generated reports carry (the streaming
-/// telemetry generation: same tile-signature metering engine as PR 6,
-/// plus the decision-tick latency budget).
-pub const MARKER: &str = "ccdem-pr7-streaming-telemetry";
+/// The `"bench"` marker newly generated reports carry (the fleet
+/// scheduler generation: same metering engine and decision-tick budget
+/// as PR 7, plus the devices/sec fleet-throughput comparison).
+pub const MARKER: &str = "ccdem-pr8-fleet-scheduler";
+
+/// The marker of the committed PR 7 streaming-telemetry baseline report
+/// (decision-tick budget, pre fleet). The metering engine is unchanged
+/// since PR 6, so [`perfcmp::check`](crate::perfcmp::check) applies a
+/// regression-only gate against this marker.
+pub const MARKER_PR7: &str = "ccdem-pr7-streaming-telemetry";
 
 /// The marker of the committed PR 6 tile-signature baseline report.
 /// [`perfcmp::check`](crate::perfcmp::check) applies a regression-only
@@ -90,6 +113,16 @@ pub struct PerfConfig {
     /// then carries `"decision_tick": null`, which only pre-PR 7
     /// markers may).
     pub tick_secs: u64,
+    /// Devices in the fleet-throughput comparison; `0` skips the
+    /// measurement (the report then carries `"fleet": null`, which only
+    /// pre-PR 8 markers may).
+    pub fleet_devices: u64,
+    /// Simulated milliseconds per device in the fleet-throughput
+    /// comparison. Deliberately short: the comparison isolates *dispatch*
+    /// overhead (lazy generation and scratch reuse vs materialized specs,
+    /// fresh buffers, and a collected result vector), and per-device
+    /// fixed costs are only visible against a small per-device payload.
+    pub fleet_sim_ms: u64,
     /// Root seed for the sweep portion.
     pub seed: u64,
 }
@@ -100,6 +133,8 @@ impl Default for PerfConfig {
             frames: 200,
             sweep_secs: 30,
             tick_secs: 30,
+            fleet_devices: 32_768,
+            fleet_sim_ms: 31,
             seed: 9,
         }
     }
@@ -107,13 +142,16 @@ impl Default for PerfConfig {
 
 impl PerfConfig {
     /// A configuration small enough for a CI smoke step: few frames, no
-    /// sweep, a short decision-tick scenario. The points-read columns
-    /// are identical to a full run; only the timing columns get noisier.
+    /// sweep, a short decision-tick scenario, a small fleet. The
+    /// points-read columns are identical to a full run; only the timing
+    /// columns get noisier.
     pub fn quick() -> PerfConfig {
         PerfConfig {
             frames: 10,
             sweep_secs: 0,
             tick_secs: 6,
+            fleet_devices: 256,
+            fleet_sim_ms: 31,
             seed: 9,
         }
     }
@@ -206,7 +244,85 @@ impl DecisionTick {
     }
 }
 
-/// The full benchmark report, serializable as `BENCH_PR7.json`.
+/// Required streaming-over-materialized advantage in a committed
+/// fleet-generation report, enforced by
+/// [`perfcmp::check`](crate::perfcmp::check): the streaming scheduler
+/// reuses one `RunScratch` and one app catalog per worker and never
+/// allocates the device or result vectors, so a release build must
+/// clear naive dispatch by a real margin. Kept conservative because
+/// the recorded pair is a median wall-clock sample on a shared CI
+/// machine; release measurements land around 1.08x.
+pub const FLEET_SPEEDUP_FLOOR: f64 = 1.02;
+
+/// The devices/sec throughput comparison embedded in a fleet-generation
+/// report: one sampled device population dispatched through the
+/// streaming work-stealing scheduler and through naive
+/// materialize-everything dispatch. Rates are derived on demand from
+/// the stored wall-clock samples, so the serialized document and the
+/// in-memory report can never disagree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetThroughput {
+    /// Devices simulated by each dispatch path.
+    pub devices: u64,
+    /// Simulated milliseconds per device.
+    pub sim_ms_per_device: u64,
+    /// Wall-clock seconds of the streaming work-stealing scheduler.
+    pub streaming_wall_secs: f64,
+    /// Wall-clock seconds of naive full-materialization dispatch.
+    pub materialized_wall_secs: f64,
+}
+
+impl FleetThroughput {
+    /// Streaming-scheduler throughput in devices per second.
+    pub fn streaming_devices_per_sec(&self) -> f64 {
+        self.devices as f64 / self.streaming_wall_secs.max(f64::MIN_POSITIVE)
+    }
+
+    /// Naive-dispatch throughput in devices per second.
+    pub fn materialized_devices_per_sec(&self) -> f64 {
+        self.devices as f64 / self.materialized_wall_secs.max(f64::MIN_POSITIVE)
+    }
+
+    /// Streaming speedup over naive dispatch (>1 means faster).
+    pub fn speedup(&self) -> f64 {
+        self.materialized_wall_secs / self.streaming_wall_secs.max(f64::MIN_POSITIVE)
+    }
+
+    /// Serializes the measurement: the wall-clock samples are the
+    /// source of truth; the rates are display sugar [`validate`]
+    /// recomputes.
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("devices".into(), Json::Num(self.devices as f64)),
+            (
+                "sim_ms_per_device".into(),
+                Json::Num(self.sim_ms_per_device as f64),
+            ),
+            (
+                "streaming".into(),
+                Json::Obj(vec![
+                    ("wall_secs".into(), Json::Num(self.streaming_wall_secs)),
+                    (
+                        "devices_per_sec".into(),
+                        Json::Num(self.streaming_devices_per_sec()),
+                    ),
+                ]),
+            ),
+            (
+                "materialized".into(),
+                Json::Obj(vec![
+                    ("wall_secs".into(), Json::Num(self.materialized_wall_secs)),
+                    (
+                        "devices_per_sec".into(),
+                        Json::Num(self.materialized_devices_per_sec()),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// The full benchmark report, serializable as `BENCH_PR8.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
     /// Frames timed per case.
@@ -218,6 +334,8 @@ pub struct PerfReport {
     pub sweep: Option<(u64, f64)>,
     /// Decision-tick latency from a profiled scenario, if measured.
     pub decision_tick: Option<DecisionTick>,
+    /// Fleet devices/sec throughput comparison, if measured.
+    pub fleet: Option<FleetThroughput>,
 }
 
 /// Runs the benchmark at full Galaxy S3 resolution.
@@ -241,11 +359,93 @@ pub fn run(config: &PerfConfig) -> PerfReport {
     });
     let decision_tick =
         (config.tick_secs > 0).then(|| measure_decision_tick(config.tick_secs, config.seed));
+    let fleet = (config.fleet_devices > 0 && config.fleet_sim_ms > 0)
+        .then(|| measure_fleet(config.fleet_devices, config.fleet_sim_ms, config.seed));
     PerfReport {
         frames: config.frames,
         budgets,
         sweep,
         decision_tick,
+        fleet,
+    }
+}
+
+/// Times one sampled device population through both dispatch paths.
+///
+/// The naive reference is exactly what `run_many`'s allocation contract
+/// documents: a `Vec` of every item built up front, a `Vec` of every
+/// result collected in input order, each run on fresh buffers — then a
+/// serial fold over the results. The streaming path is the fleet
+/// scheduler: lazy index-derived devices, per-worker scratch reuse,
+/// per-worker partial statistics. Both must aggregate to *equal*
+/// statistics (asserted), so the delta is pure dispatch overhead.
+fn measure_fleet(devices: u64, sim_ms: u64, seed: u64) -> FleetThroughput {
+    use crate::campaign::CampaignStats;
+    use crate::fleet::{self, DeviceSpec, FleetConfig};
+    use ccdem_simkit::parallel::ParallelRunner;
+
+    let duration = SimDuration::from_millis(sim_ms);
+    let config = FleetConfig {
+        devices,
+        seed,
+        duration,
+        ..FleetConfig::default()
+    };
+
+    let streaming = || {
+        let started = Instant::now();
+        // ccdem-lint: allow(panic) — no checkpoint path configured, so
+        // the scheduler performs no I/O and cannot fail
+        let outcome = fleet::run(&config, &ccdem_obs::Obs::disabled()).expect("no checkpoint I/O");
+        (started.elapsed().as_secs_f64(), outcome.stats)
+    };
+    let naive = || {
+        let started = Instant::now();
+        let specs: Vec<DeviceSpec> = (0..devices)
+            .map(|index| DeviceSpec::sample(seed, index))
+            .collect();
+        let results = ParallelRunner::new(config.jobs)
+            .run_many(specs, |_, spec| spec.scenario(duration).run());
+        let mut stats = CampaignStats::new();
+        for result in &results {
+            stats.observe_run(result);
+        }
+        (started.elapsed().as_secs_f64(), stats)
+    };
+
+    // One untimed warmup run so neither path pays first-touch costs,
+    // then five alternating timed pairs. The recorded sample is the
+    // pair with the *median* materialized/streaming ratio: the two
+    // paths inside one pair run back to back and therefore share the
+    // same clock/thermal regime, so the paired ratio cancels the slow
+    // host drift that makes independent min-of-N unstable, and the
+    // median discards the occasional pair where a scheduler hiccup
+    // lands inside one path's timed region.
+    let (_, warm) = streaming();
+    let mut pairs: Vec<(f64, f64)> = Vec::new();
+    for _ in 0..5 {
+        let (streaming_wall, stats) = streaming();
+        assert_eq!(stats, warm, "streaming dispatch is not reproducible");
+        let (materialized_wall, stats) = naive();
+        assert_eq!(
+            stats, warm,
+            "dispatch paths disagree — the comparison would be meaningless"
+        );
+        pairs.push((streaming_wall, materialized_wall));
+    }
+    pairs.sort_by(|a, b| {
+        let ra = a.1 / a.0.max(f64::MIN_POSITIVE);
+        let rb = b.1 / b.0.max(f64::MIN_POSITIVE);
+        // ccdem-lint: allow(panic) — wall-clock seconds are finite
+        ra.partial_cmp(&rb).expect("finite wall-clock ratios")
+    });
+    // ccdem-lint: allow(panic) — five pairs were just pushed
+    let (streaming_wall_secs, materialized_wall_secs) = pairs[pairs.len() / 2];
+    FleetThroughput {
+        devices,
+        sim_ms_per_device: sim_ms,
+        streaming_wall_secs,
+        materialized_wall_secs,
     }
 }
 
@@ -351,7 +551,7 @@ fn bench_case(
 }
 
 impl PerfReport {
-    /// Serializes the report as the `BENCH_PR7.json` document.
+    /// Serializes the report as the `BENCH_PR8.json` document.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(2048);
         out.push_str(&format!("{{\n  \"bench\": \"{MARKER}\",\n"));
@@ -381,6 +581,14 @@ impl PerfReport {
                 "  \"sweep\": {{\"sim_secs\": {sim_secs}, \"wall_secs\": {wall_secs:.2}}},\n"
             )),
             None => out.push_str("  \"sweep\": null,\n"),
+        }
+        match &self.fleet {
+            Some(fleet) => {
+                out.push_str("  \"fleet\": ");
+                json::write_json(&mut out, &fleet.to_json());
+                out.push_str(",\n");
+            }
+            None => out.push_str("  \"fleet\": null,\n"),
         }
         match &self.decision_tick {
             Some(tick) => {
@@ -436,6 +644,18 @@ impl fmt::Display for PerfReport {
                 tick.max_us(),
             )?;
         }
+        if let Some(fleet) = &self.fleet {
+            write!(
+                f,
+                "\nfleet throughput ({} devices, {} ms each): streaming {:.0} devices/sec \
+                 vs materialized {:.0} devices/sec ({:.2}x)",
+                fleet.devices,
+                fleet.sim_ms_per_device,
+                fleet.streaming_devices_per_sec(),
+                fleet.materialized_devices_per_sec(),
+                fleet.speedup(),
+            )?;
+        }
         Ok(())
     }
 }
@@ -459,7 +679,7 @@ impl fmt::Display for PerfReport {
 pub fn validate(document: &str) -> Result<(), String> {
     let doc = json::parse(document)?;
     let marker = doc.get("bench").and_then(Json::as_str);
-    let known = [MARKER, MARKER_PR6, MARKER_PR5, MARKER_PR3];
+    let known = [MARKER, MARKER_PR7, MARKER_PR6, MARKER_PR5, MARKER_PR3];
     if !marker.is_some_and(|m| known.contains(&m)) {
         return Err("missing or wrong \"bench\" marker".into());
     }
@@ -527,7 +747,61 @@ pub fn validate(document: &str) -> Result<(), String> {
         }
         None => return Err("missing \"sweep\" member (use null when skipped)".into()),
     }
-    validate_decision_tick(&doc, marker == Some(MARKER))
+    let streaming_generation = marker == Some(MARKER) || marker == Some(MARKER_PR7);
+    validate_decision_tick(&doc, streaming_generation)?;
+    validate_fleet(&doc, marker == Some(MARKER))
+}
+
+/// Checks the `fleet` member: required for fleet-generation reports,
+/// absent (or null) in every earlier committed baseline. Shape and
+/// sanity only — the [`FLEET_SPEEDUP_FLOOR`] timing gate lives in
+/// [`perfcmp::check`](crate::perfcmp::check), which runs against the
+/// committed release-built artifact.
+fn validate_fleet(doc: &Json, required: bool) -> Result<(), String> {
+    match doc.get("fleet") {
+        None | Some(Json::Null) if required => {
+            Err("fleet-generation reports must carry a \"fleet\" throughput measurement".into())
+        }
+        None | Some(Json::Null) => Ok(()),
+        Some(fleet) => parse_fleet(fleet).map(|_| ()),
+    }
+}
+
+/// Parses and sanity-checks a serialized `fleet` member; the rates are
+/// reconstructed from the wall-clock samples, never trusted from the
+/// `devices_per_sec` display members.
+///
+/// # Errors
+///
+/// Describes the first missing or non-positive member.
+pub fn parse_fleet(fleet: &Json) -> Result<FleetThroughput, String> {
+    let unsigned = |key: &str| -> Result<u64, String> {
+        let v = fleet
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("\"fleet\" missing {key:?}"))?;
+        if v < 1.0 || v.fract() != 0.0 {
+            return Err(format!("\"fleet\" member {key:?} is not a positive integer"));
+        }
+        Ok(v as u64)
+    };
+    let wall = |path: &str| -> Result<f64, String> {
+        let secs = fleet
+            .get(path)
+            .and_then(|engine| engine.get("wall_secs"))
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("\"fleet\" missing {path:?} wall_secs"))?;
+        if secs <= 0.0 || !secs.is_finite() {
+            return Err(format!("\"fleet\" {path:?} wall_secs is not a positive time"));
+        }
+        Ok(secs)
+    };
+    Ok(FleetThroughput {
+        devices: unsigned("devices")?,
+        sim_ms_per_device: unsigned("sim_ms_per_device")?,
+        streaming_wall_secs: wall("streaming")?,
+        materialized_wall_secs: wall("materialized")?,
+    })
 }
 
 /// Checks the `decision_tick` member: required (with a budget-passing
@@ -598,6 +872,13 @@ mod tests {
         assert!(tick.ticks() >= 11, "only {} ticks recorded", tick.ticks());
         assert!(tick.quantile_us(0.5) > 0.0);
         assert!(tick.quantile_us(0.99) <= tick.max_us() * (1.0 + 0.04));
+        // The quick config also runs the fleet dispatch comparison.
+        let fleet = r.fleet.expect("quick config measures fleet throughput");
+        assert_eq!(fleet.devices, 256);
+        assert_eq!(fleet.sim_ms_per_device, 31);
+        assert!(fleet.streaming_wall_secs > 0.0);
+        assert!(fleet.materialized_wall_secs > 0.0);
+        assert!(fleet.streaming_devices_per_sec() > 0.0);
     }
 
     #[test]
@@ -716,6 +997,7 @@ mod tests {
         let good = quick().to_json();
         assert!(good.contains(MARKER));
         for (name, marker) in [
+            ("PR 7", MARKER_PR7),
             ("PR 6", MARKER_PR6),
             ("PR 5", MARKER_PR5),
             ("PR 3", MARKER_PR3),
@@ -724,6 +1006,36 @@ mod tests {
             validate(&doc)
                 .unwrap_or_else(|e| panic!("the {name} baseline marker must stay accepted: {e}"));
         }
+    }
+
+    #[test]
+    fn fleet_member_is_required_and_tamper_proof() {
+        let report = quick();
+        let good = report.to_json();
+        validate(&good).expect("fresh quick report must validate");
+
+        // A fleet-generation report may not drop the measurement…
+        let stripped = PerfReport {
+            fleet: None,
+            ..report.clone()
+        }
+        .to_json();
+        let err = validate(&stripped).unwrap_err();
+        assert!(err.contains("fleet"), "wrong violation: {err}");
+        // …though the committed PR 7 baseline predates it.
+        validate(&stripped.replace(MARKER, MARKER_PR7))
+            .expect("PR 7 reports have no fleet member");
+
+        // Zeroed wall-clock samples cannot sneak through: the rates are
+        // recomputed, not read from the display members.
+        let fleet = report.fleet.expect("quick config measures fleet throughput");
+        let forged = good.replace(
+            &format!("\"wall_secs\":{}", Json::Num(fleet.streaming_wall_secs)),
+            "\"wall_secs\":0",
+        );
+        assert_ne!(forged, good, "streaming wall_secs not found in document");
+        let err = validate(&forged).unwrap_err();
+        assert!(err.contains("positive time"), "wrong violation: {err}");
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //!   is regression-only. Every gated case must stay within a noise
 //!   margin of the baseline — both files are committed artifacts
 //!   measured on possibly different hosts, so the margin absorbs clock
-//!   jitter without letting a real regression through.
+//!   jitter without letting a real regression through. When the *new*
+//!   report embeds a fleet throughput measurement, the streaming
+//!   scheduler must additionally clear naive materialized dispatch by
+//!   [`perf::FLEET_SPEEDUP_FLOOR`] — that comparison is internal to one
+//!   report (same host, same build), so no cross-host margin applies.
 //!
 //! Timing gates on freshly measured numbers would be flaky; CI therefore
 //! runs [`check`] on the two *committed* reports, which is deterministic.
@@ -46,10 +50,16 @@ pub const FULL_CHANGE_SPEEDUP: f64 = 2.0;
 pub const TILE_FULL_CHANGE_SPEEDUP: f64 = 1.5;
 
 /// Allowed ratio of new/baseline ns/frame on the cases that must not
-/// regress (`redundant`, `small_damage`). Committed reports come from
-/// real hosts, so exact equality is unattainable; 1.25× absorbs timer
-/// jitter while still failing on any real slowdown.
-pub const REGRESSION_MARGIN: f64 = 1.25;
+/// regress (`redundant`, `small_damage`, and `full_change` against a
+/// regression-only baseline). Committed reports come from real hosts
+/// in different sessions, so exact equality is unattainable: the
+/// microsecond-scale L1-resident cases scatter up to ~1.35× between
+/// sessions of the same unchanged binary (the memory-bound full-grid
+/// case stays within a few percent, confirming the scatter is host
+/// state, not code). 1.5× absorbs that while still failing hard on any
+/// algorithmic regression — reintroducing an O(pixels) path moves
+/// these cases by 10× or more, never 1.5×.
+pub const REGRESSION_MARGIN: f64 = 1.5;
 
 /// Absolute slack added on top of [`REGRESSION_MARGIN`]: a case only
 /// counts as regressed when it exceeds the relative margin *and* is at
@@ -122,6 +132,10 @@ pub struct Comparison {
     /// `(baseline, new)` decision-tick stats, present only when *both*
     /// reports embed a non-empty tick sketch (pre-PR 7 baselines don't).
     pub ticks: Option<(TickStats, TickStats)>,
+    /// `(baseline, new)` fleet throughput, each present when the
+    /// respective report embeds the measurement (pre-PR 8 baselines
+    /// don't).
+    pub fleet: (Option<perf::FleetThroughput>, Option<perf::FleetThroughput>),
 }
 
 /// Extracts the timing columns of a validated report document.
@@ -178,6 +192,17 @@ fn parse_tick_stats(document: &str) -> Option<TickStats> {
     })
 }
 
+/// Extracts the fleet throughput measurement from an already-validated
+/// report document; `None` when the document predates the member.
+fn parse_fleet_member(document: &str) -> Option<perf::FleetThroughput> {
+    let doc = json::parse(document).ok()?;
+    let fleet = doc.get("fleet")?;
+    if matches!(fleet, Json::Null) {
+        return None;
+    }
+    perf::parse_fleet(fleet).ok()
+}
+
 /// Parses both documents and pairs their budget rows.
 ///
 /// # Errors
@@ -214,11 +239,16 @@ pub fn compare(new_document: &str, baseline_document: &str) -> Result<Comparison
         (Some(baseline), Some(new)) => Some((baseline, new)),
         _ => None,
     };
+    let fleet = (
+        parse_fleet_member(baseline_document),
+        parse_fleet_member(new_document),
+    );
     Ok(Comparison {
         baseline_marker,
         new_marker,
         pairs,
         ticks,
+        fleet,
     })
 }
 
@@ -232,7 +262,12 @@ pub fn compare(new_document: &str, baseline_document: &str) -> Result<Comparison
 ///    joins the regression-only set instead of owing a speedup;
 /// 2. at every budget, `redundant` and `small_damage` must stay within
 ///    [`REGRESSION_MARGIN`]× of the baseline, with [`NOISE_FLOOR_NS`]
-///    of absolute slack for the sub-microsecond cases.
+///    of absolute slack for the sub-microsecond cases;
+/// 3. when the new report embeds a fleet throughput measurement, its
+///    streaming scheduler must beat its own naive materialized dispatch
+///    by [`perf::FLEET_SPEEDUP_FLOOR`] — the devices/sec claim of the
+///    committed `BENCH_PR8.json`, recomputed from the embedded
+///    wall-clock samples.
 ///
 /// # Errors
 ///
@@ -245,7 +280,7 @@ pub fn check(new_document: &str, baseline_document: &str) -> Result<Comparison, 
         .last()
         .ok_or("no budgets to compare")?;
     let speedup = match comparison.baseline_marker.as_str() {
-        m if m == perf::MARKER || m == perf::MARKER_PR6 => None,
+        m if m == perf::MARKER || m == perf::MARKER_PR7 || m == perf::MARKER_PR6 => None,
         m if m == perf::MARKER_PR5 => Some(TILE_FULL_CHANGE_SPEEDUP),
         _ => Some(FULL_CHANGE_SPEEDUP),
     };
@@ -272,6 +307,18 @@ pub fn check(new_document: &str, baseline_document: &str) -> Result<Comparison, 
                     pair.new.pixels
                 ));
             }
+        }
+    }
+    if let (_, Some(fleet)) = &comparison.fleet {
+        if fleet.speedup() < perf::FLEET_SPEEDUP_FLOOR {
+            return Err(format!(
+                "fleet streaming dispatch is only {:.3}x the materialized path \
+                 ({:.0} vs {:.0} devices/sec) — below the required {}x",
+                fleet.speedup(),
+                fleet.streaming_devices_per_sec(),
+                fleet.materialized_devices_per_sec(),
+                perf::FLEET_SPEEDUP_FLOOR,
+            ));
         }
     }
     Ok(comparison)
@@ -308,6 +355,37 @@ impl fmt::Display for Comparison {
                 baseline.p50_us, new.p50_us, baseline.p99_us, new.p99_us, baseline.ticks, new.ticks,
             )?;
         }
+        if let (baseline, Some(new)) = &self.fleet {
+            writeln!(
+                f,
+                "\n\nfleet dispatch ({} devices, {} ms simulated each); \
+                 rates recomputed from committed wall-clock samples",
+                new.devices, new.sim_ms_per_device
+            )?;
+            let mut t = TextTable::new(["path", "baseline dev/s", "new dev/s", "new wall s"]);
+            let rate = |r: Option<f64>| match r {
+                Some(rate) => format!("{rate:.0}"),
+                None => "-".into(),
+            };
+            t.row([
+                "streaming".into(),
+                rate(baseline.map(|b| b.streaming_devices_per_sec())),
+                format!("{:.0}", new.streaming_devices_per_sec()),
+                format!("{:.3}", new.streaming_wall_secs),
+            ]);
+            t.row([
+                "materialized".into(),
+                rate(baseline.map(|b| b.materialized_devices_per_sec())),
+                format!("{:.0}", new.materialized_devices_per_sec()),
+                format!("{:.3}", new.materialized_wall_secs),
+            ]);
+            write!(f, "{t}")?;
+            write!(
+                f,
+                "streaming beats materialized dispatch by {:.2}x",
+                new.speedup()
+            )?;
+        }
         Ok(())
     }
 }
@@ -316,12 +394,13 @@ impl fmt::Display for Comparison {
 mod tests {
     use super::*;
     use crate::fig6::PAPER_BUDGETS;
-    use crate::perf::{BudgetResult, CaseResult, DecisionTick, PerfReport};
+    use crate::perf::{BudgetResult, CaseResult, DecisionTick, FleetThroughput, PerfReport};
 
     /// A structurally valid report whose ns/frame for `(budget index,
     /// case index)` comes from `ns_of`. Points-read columns satisfy the
-    /// PR 3 criteria by construction, and a small fixed tick sketch
-    /// (10/20/30 µs) satisfies the PR 7 budget.
+    /// PR 3 criteria by construction, a small fixed tick sketch
+    /// (10/20/30 µs) satisfies the PR 7 budget, and a fixed fleet
+    /// measurement (1.10x streaming advantage) satisfies the PR 8 gate.
     fn synthetic_report(ns_of: impl Fn(usize, usize) -> f64) -> PerfReport {
         let budgets = PAPER_BUDGETS
             .iter()
@@ -358,6 +437,12 @@ mod tests {
             budgets,
             sweep: None,
             decision_tick: Some(DecisionTick::from_sketch(sketch)),
+            fleet: Some(FleetThroughput {
+                devices: 1000,
+                sim_ms_per_device: 31,
+                streaming_wall_secs: 10.0,
+                materialized_wall_secs: 11.0,
+            }),
         }
     }
 
@@ -477,6 +562,37 @@ mod tests {
         let slow = synthetic(|_, case| if case == 2 { 60.0 } else { 900.0 });
         let err = check(&slow, &baseline).unwrap_err();
         assert!(err.contains("regressed"), "wrong violation: {err}");
+    }
+
+    #[test]
+    fn fleet_gate_enforces_the_streaming_floor() {
+        let good = synthetic(|_, _| 100.0);
+        let cmp = check(&good, &good).expect("a 1.10x streaming advantage must pass");
+        assert!(cmp.fleet.0.is_some() && cmp.fleet.1.is_some());
+        let rendered = cmp.to_string();
+        assert!(rendered.contains("fleet dispatch"), "delta table missing");
+        assert!(rendered.contains("materialized"), "delta table missing a path");
+        assert!(rendered.contains("1.10x"), "speedup line missing: {rendered}");
+
+        // A report whose streaming path does not clear the floor fails
+        // the gate even when every metering case passes.
+        let mut report = synthetic_report(|_, _| 100.0);
+        report.fleet = Some(FleetThroughput {
+            devices: 1000,
+            sim_ms_per_device: 31,
+            streaming_wall_secs: 11.0,
+            materialized_wall_secs: 11.0,
+        });
+        let err = check(&report.to_json(), &good).unwrap_err();
+        assert!(err.contains("below the required"), "wrong violation: {err}");
+
+        // A pre-PR 8 baseline has no fleet member; the new report still
+        // gates against its own materialized path.
+        let mut old = synthetic_report(|_, _| 100.0);
+        old.fleet = None;
+        let old = old.to_json().replace(perf::MARKER, perf::MARKER_PR7);
+        let cmp = check(&good, &old).expect("fleet-less baseline must still pass");
+        assert!(cmp.fleet.0.is_none() && cmp.fleet.1.is_some());
     }
 
     #[test]

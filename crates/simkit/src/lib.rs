@@ -5,7 +5,11 @@
 //! ([`time`]), a FIFO-stable future-event queue ([`event`]), seeded and
 //! forkable randomness ([`rng`]), streaming statistics ([`stats`]),
 //! fixed-bin histograms ([`histogram`]), time-series traces ([`trace`])
-//! and a deterministic worker pool for independent runs ([`parallel`]).
+//! and a deterministic worker pool for independent runs ([`parallel`]),
+//! including a streaming batch mode (`ParallelRunner::run_batches`)
+//! that folds results into per-worker accumulators without ever
+//! materializing the full work list — the substrate for
+//! population-scale fleet campaigns.
 //!
 //! Everything here is independent of the display domain; the display stack
 //! (panel, compositor, workloads) is built on top of these primitives in the

@@ -37,6 +37,8 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex};
 
 /// Derives a per-run seed as a pure function of a root seed and a stream
@@ -107,6 +109,18 @@ impl ParallelRunner {
     /// Runs `f(index, item)` for every item and returns the results in
     /// input order. `f` receives each item's index in `items` so it can
     /// derive per-run seeds (see [`derive_seed`]).
+    ///
+    /// # Allocation contract
+    ///
+    /// This path **materializes everything**: the caller builds a
+    /// `Vec<T>` of all items up front, and the runner holds a `Vec<R>`
+    /// of all results until it returns — memory is O(items + results)
+    /// for the life of the call. That is the right trade for sweeps of
+    /// tens or hundreds of runs whose results are all consumed; for
+    /// campaigns of 10⁵–10⁶ independent items whose results fold into a
+    /// bounded aggregate, use [`run_batches`](Self::run_batches), which
+    /// generates items lazily from their index and keeps only one
+    /// accumulator per worker.
     ///
     /// With one worker (or one item) everything runs on the calling
     /// thread, in order, with no thread or lock overhead — the exact
@@ -310,6 +324,98 @@ impl ParallelRunner {
             .map(|r| r.expect("worker completed every drained job"))
             .collect()
     }
+
+    /// Streams the item indices in `range` through per-worker
+    /// accumulators without materializing items or results: workers
+    /// claim fixed-size batches of indices from a shared atomic cursor
+    /// (work stealing — a fast worker simply claims more batches), call
+    /// `fold(acc, index)` for every index of each claimed batch in
+    /// ascending order, and the per-worker accumulators come back when
+    /// the range is exhausted. Memory is **O(workers)** accumulators —
+    /// never O(items) — and the only in-flight work is one batch per
+    /// worker.
+    ///
+    /// This is the primitive under fleet-scale campaigns: `fold`
+    /// derives the item from its index (see [`derive_seed`]), runs it,
+    /// and folds the result into the accumulator, so a million-item
+    /// campaign needs neither a `Vec<T>` of specs nor a `Vec<R>` of
+    /// results (contrast the [`run_many`](Self::run_many) allocation
+    /// contract).
+    ///
+    /// # Determinism
+    ///
+    /// Which indices share an accumulator — and the order of the
+    /// returned partials — depends on scheduling. The per-index work is
+    /// deterministic (indices are pure inputs), so the *multiset* of
+    /// folded results is not; callers therefore need an accumulator
+    /// whose merge is commutative and associative (e.g. mergeable
+    /// sketches) for the combined final state to be independent of
+    /// worker count and steal order. With one worker the whole range
+    /// folds into a single accumulator in ascending index order on the
+    /// calling thread — the exact serial path.
+    ///
+    /// `batch_size` is clamped to at least 1. An empty range returns no
+    /// accumulators.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `init` or `fold` (after all
+    /// workers stop).
+    pub fn run_batches<A, I, F>(&self, range: Range<u64>, batch_size: u64, init: I, fold: F) -> Vec<A>
+    where
+        A: Send,
+        I: Fn() -> A + Sync,
+        F: Fn(&mut A, u64) + Sync,
+    {
+        let total = range.end.saturating_sub(range.start);
+        if total == 0 {
+            return Vec::new();
+        }
+        let batch = batch_size.max(1);
+        let n_batches = total.div_ceil(batch);
+        let jobs = (self.jobs as u64).min(n_batches).max(1);
+        if jobs == 1 {
+            let mut acc = init();
+            for index in range {
+                fold(&mut acc, index);
+            }
+            return vec![acc];
+        }
+
+        let cursor = AtomicU64::new(0);
+        let partials: Mutex<Vec<A>> = Mutex::new(Vec::with_capacity(jobs as usize));
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| {
+                    // Built on first claim so workers that never win a
+                    // batch never pay for an accumulator.
+                    let mut acc: Option<A> = None;
+                    loop {
+                        let claimed = cursor.fetch_add(1, Ordering::Relaxed);
+                        if claimed >= n_batches {
+                            break;
+                        }
+                        let start = range.start + claimed * batch;
+                        let end = (start + batch).min(range.end);
+                        let acc = acc.get_or_insert_with(&init);
+                        for index in start..end {
+                            fold(acc, index);
+                        }
+                    }
+                    if let Some(acc) = acc {
+                        // ccdem-lint: allow(panic) — poisoned lock means a
+                        // worker already panicked; re-raising is correct
+                        partials.lock().expect("partials poisoned").push(acc);
+                    }
+                });
+            }
+        });
+        partials
+            .into_inner()
+            // ccdem-lint: allow(panic) — poisoned lock re-raises a worker
+            // panic after the scope has joined every thread
+            .expect("partials poisoned")
+    }
 }
 
 /// Convenience free function: [`ParallelRunner::run_many`] with `jobs`
@@ -482,6 +588,95 @@ mod tests {
                 let _ = worker;
             },
         );
+    }
+
+    #[test]
+    fn run_batches_folds_every_index_once_for_any_worker_count() {
+        for jobs in [1, 2, 3, 8] {
+            for batch in [1, 7, 64, 1000] {
+                let partials = ParallelRunner::new(jobs).run_batches(
+                    10..523,
+                    batch,
+                    || (0u64, 0u64), // (sum, count)
+                    |acc, i| {
+                        acc.0 += derive_seed(99, i) >> 32;
+                        acc.1 += 1;
+                    },
+                );
+                assert!(partials.len() <= jobs.max(1));
+                let count: u64 = partials.iter().map(|p| p.1).sum();
+                assert_eq!(count, 513, "jobs={jobs} batch={batch}");
+                // A commutative-associative fold combines to the same
+                // value regardless of worker count and steal order.
+                let sum: u64 = partials.iter().map(|p| p.0).sum();
+                let serial: u64 = (10..523).map(|i| derive_seed(99, i) >> 32).sum();
+                assert_eq!(sum, serial, "jobs={jobs} batch={batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_batches_serial_visits_ascending_on_one_accumulator() {
+        let partials = ParallelRunner::new(1).run_batches(
+            5..12,
+            3,
+            Vec::new,
+            |seen: &mut Vec<u64>, i| seen.push(i),
+        );
+        assert_eq!(partials, vec![(5..12).collect::<Vec<u64>>()]);
+    }
+
+    #[test]
+    fn run_batches_visits_batches_ascending_within_each_worker_claim() {
+        // Every worker must see each claimed batch's indices in
+        // ascending order, with no index outside the range.
+        let partials = ParallelRunner::new(4).run_batches(
+            0..1024,
+            32,
+            Vec::new,
+            |seen: &mut Vec<u64>, i| seen.push(i),
+        );
+        let mut all: Vec<u64> = Vec::new();
+        for worker in &partials {
+            for pair in worker.windows(2) {
+                // Within one worker, order jumps only at batch
+                // boundaries; inside a batch it is ascending by one.
+                assert!(pair[1] == pair[0] + 1 || pair[1] % 32 == 0);
+            }
+            all.extend_from_slice(worker);
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..1024).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn run_batches_empty_range_returns_no_accumulators() {
+        let partials =
+            ParallelRunner::new(4).run_batches(7..7, 16, || 0u64, |acc, i| *acc += i);
+        assert!(partials.is_empty());
+    }
+
+    #[test]
+    fn run_batches_never_materializes_items_and_caps_accumulators() {
+        // 100k indices, zero per-item storage: only per-worker
+        // accumulators exist, and at most `jobs` of them.
+        let inits = AtomicUsize::new(0);
+        let partials = ParallelRunner::new(4).run_batches(
+            0..100_000,
+            1024,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |acc, _| *acc += 1,
+        );
+        assert_eq!(partials.iter().sum::<u64>(), 100_000);
+        let states = inits.load(Ordering::Relaxed);
+        assert!(
+            (1..=4).contains(&states),
+            "lazy init must cap accumulators at the worker count, got {states}"
+        );
+        assert_eq!(partials.len(), states);
     }
 
     #[test]

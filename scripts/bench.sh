@@ -1,24 +1,27 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_PR7.json — the tracked performance report for the
-# streaming-telemetry generation (tile-signature metering engine plus
-# the decision-tick latency budget) — or compares two existing reports.
-# Run from the repo root.
+# Regenerates BENCH_PR8.json — the tracked performance report for the
+# fleet-scheduler generation (tile-signature metering engine, the
+# decision-tick latency budget, and the streaming-vs-materialized fleet
+# dispatch measurement) — or compares two existing reports. Run from
+# the repo root.
 #
 #   scripts/bench.sh           full run: 200 timed frames per case, the
-#                              30 s end-to-end sweep wall clock, and a
-#                              30 s profiled decision-tick measurement;
+#                              30 s end-to-end sweep wall clock, a 30 s
+#                              profiled decision-tick measurement, and
+#                              the 256-device fleet throughput pair;
 #                              checked against the committed
-#                              BENCH_PR6.json baseline before exiting
+#                              BENCH_PR7.json baseline before exiting
 #   scripts/bench.sh --quick   CI smoke: 10 frames, no sweep, short tick
-#                              scenario; the exact points-read columns
-#                              are identical, only the timings get
-#                              noisier (no baseline check — quick
-#                              timings are too coarse)
+#                              scenario, 48-device fleet pair; the exact
+#                              points-read columns are identical, only
+#                              the timings get noisier (no baseline
+#                              check — quick timings are too coarse)
 #   scripts/bench.sh --compare A.json B.json
 #                              print the per-(budget, case) delta table
-#                              — plus decision-tick p50/p99 deltas when
-#                              both reports embed sketches — between two
-#                              reports (A = baseline, B = new) without
+#                              — plus decision-tick p50/p99 deltas and
+#                              the fleet devices/sec table when both
+#                              reports embed them — between two reports
+#                              (A = baseline, B = new) without
 #                              measuring anything
 #
 # Other arguments are passed through to `ccdem bench` (e.g.
@@ -36,8 +39,8 @@ if [[ "${1:-}" == "--compare" ]]; then
     exit 0
 fi
 
-out=BENCH_PR7.json
-baseline=BENCH_PR6.json
+out=BENCH_PR8.json
+baseline=BENCH_PR7.json
 cargo build --release -q
 cargo run --release -q --bin ccdem -- bench --out "$out" "$@"
 if [[ " $* " == *" --quick "* ]]; then

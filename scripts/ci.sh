@@ -18,19 +18,37 @@ cargo test -q --test profile_jsonl
 # malformed or regressed output).
 cargo run --release -q --bin ccdem -- bench --quick --out target/bench_smoke.json
 cargo run --release -q --bin ccdem -- bench --check target/bench_smoke.json
+# Fleet CLI end-to-end: worker-count byte identity, kill+resume byte
+# identity, replay, and trace taxonomy through the real binary.
+cargo test -q --test fleet_e2e
+# Fleet smoke: the acceptance scenario end-to-end on the release
+# binary — run a small campaign, kill a second run at its first
+# checkpoint, resume it under a different worker count, and require the
+# final statistics documents to be byte-identical.
+cargo run --release -q --bin ccdem -- fleet --devices 96 --duration 1 --seed 17 \
+    --batch 8 --jobs 4 --out target/fleet_full.json -q
+cargo run --release -q --bin ccdem -- fleet --devices 96 --duration 1 --seed 17 \
+    --batch 8 --jobs 2 --checkpoint target/fleet_ckpt.json --checkpoint-every 4 \
+    --stop-after 1 -q
+cargo run --release -q --bin ccdem -- fleet --resume target/fleet_ckpt.json \
+    --jobs 3 --out target/fleet_resumed.json -q
+cmp target/fleet_full.json target/fleet_resumed.json
 # Speedup gates on the *committed* reports (deterministic: no fresh
 # measurement involved): the row-run engine must halve full_change at
 # the full grid over PR 3, the tile-signature engine must beat the
-# row-run engine by 1.5x there, and the streaming-telemetry generation
-# must not regress it; none may regress redundant/small_damage, and the
-# PR 7 report's decision-tick p99 must fit its budget.
+# row-run engine by 1.5x there, and the later generations must not
+# regress it; none may regress redundant/small_damage, the PR 7+
+# reports' decision-tick p99 must fit its budget, and the PR 8 report's
+# streaming fleet dispatch must beat materialized dispatch.
 cargo run --release -q --bin ccdem -- bench --check BENCH_PR5.json --baseline BENCH_PR3.json
 cargo run --release -q --bin ccdem -- bench --check BENCH_PR6.json --baseline BENCH_PR5.json
 cargo run --release -q --bin ccdem -- bench --check BENCH_PR7.json --baseline BENCH_PR6.json
-# Compare-table smoke via the shell wrapper (exercises --compare and
-# the decision-tick delta line).
+cargo run --release -q --bin ccdem -- bench --check BENCH_PR8.json --baseline BENCH_PR7.json
+# Compare-table smoke via the shell wrapper (exercises --compare, the
+# decision-tick delta line, and the fleet devices/sec table).
 scripts/bench.sh --compare BENCH_PR3.json BENCH_PR5.json
 scripts/bench.sh --compare BENCH_PR6.json BENCH_PR7.json
+scripts/bench.sh --compare BENCH_PR7.json BENCH_PR8.json
 # Workspace static analysis (hard gate): determinism, panic-policy,
 # obs-taxonomy, and section-table invariants — see DESIGN.md §10.
 cargo run --release -q --bin ccdem -- lint --json

@@ -12,6 +12,11 @@
 //!                [--obs summary|none]
 //! ccdem report   [--duration <secs>] [--seed <n>] [--jobs <n>]
 //!                [--obs summary|none]
+//! ccdem fleet    [--devices <n>] [--duration <secs>] [--seed <n>]
+//!                [--jobs <n>] [--batch <n>] [--out <file.json>]
+//!                [--checkpoint <file.json> [--checkpoint-every <batches>]
+//!                 [--stop-after <checkpoints>]] [--resume <file.json>]
+//!                [--trace <file.jsonl>] [--replay-device <k>]
 //! ccdem lint     [--json] [--fix-baseline]
 //! ```
 //!
@@ -24,7 +29,13 @@
 //! worker pool (`--jobs 1` forces the serial path; the results are
 //! identical either way) and prints Table 1 plus host timing; `report`
 //! prints every sweep-derived view (Figs. 9–11 and Table 1) plus the
-//! telemetry-metrics summary. `lint` runs the zero-dependency workspace
+//! telemetry-metrics summary. `fleet` simulates a sampled population of
+//! devices on the work-stealing batch scheduler (DESIGN.md §14) — devices
+//! are generated lazily from `(seed, index)`, so `--devices 1000000`
+//! never materializes a million items; `--checkpoint`/`--resume` persist
+//! and continue a campaign to byte-identical final statistics, and
+//! `--replay-device K` re-runs any single device in isolation. `lint`
+//! runs the zero-dependency workspace
 //! static-analysis pass (DESIGN.md §10) and exits non-zero on findings.
 //!
 //! Every command accepts `--quiet`/`-q` to suppress progress chatter on
@@ -60,6 +71,7 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(rest),
         "sweep" => cmd_sweep(rest, false),
         "report" => cmd_sweep(rest, true),
+        "fleet" => cmd_fleet(rest),
         "bench" => cmd_bench(rest),
         "lint" => cmd_lint(rest),
         "--help" | "-h" => {
@@ -93,6 +105,13 @@ fn print_usage() {
          run the 30-app sweep; print Table 1 + timing\n  \
          report [--duration <secs>] [--seed <n>] [--jobs <n>] [--obs summary|none]\n                                \
          print Figs. 9-11 and Table 1 from the sweep\n  \
+         fleet [--devices <n>] [--duration <secs>] [--seed <n>] [--jobs <n>]\n        \
+         [--batch <n>] [--out <file.json>] [--trace <file.jsonl>]\n        \
+         [--checkpoint <file.json> [--checkpoint-every <batches>]\n        \
+         [--stop-after <checkpoints>]] [--resume <file.json>]\n        \
+         [--replay-device <k>]\n                                \
+         simulate a sampled device population on the work-stealing\n                                \
+         scheduler; checkpoint/resume to byte-identical statistics\n  \
          bench [--out <file.json>] [--iterations <n>] [--quick] [--no-sweep]\n        \
          [--check <file.json> [--baseline <file.json>]]\n        \
          [--compare <file.json> --baseline <file.json>]\n                                \
@@ -358,6 +377,200 @@ fn cmd_sweep(args: &[String], full_report: bool) -> ExitCode {
         println!("{}", obs_summary(&delta, Some(runs)));
     }
     progress!("\n{timing}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_fleet(args: &[String]) -> ExitCode {
+    use ccdem::experiments::fleet;
+
+    let flags = parse_or_fail!(
+        args,
+        &[
+            "--devices",
+            "--duration",
+            "--seed",
+            "--jobs",
+            "--batch",
+            "--out",
+            "--trace",
+            "--checkpoint",
+            "--checkpoint-every",
+            "--stop-after",
+            "--resume",
+            "--replay-device",
+        ],
+        &[]
+    );
+
+    let parse_u64 = |flag: &'static str, default: &str| -> Result<u64, String> {
+        flags
+            .value(flag)
+            .unwrap_or(default)
+            .parse::<u64>()
+            .map_err(|_| format!("{flag} must be an unsigned integer"))
+    };
+
+    // Assemble the campaign configuration. When resuming, the campaign
+    // identity (seed, devices, batch, duration) comes from the
+    // checkpoint; explicit flags are still honoured so a mismatch is
+    // rejected rather than silently ignored.
+    let resumed = match flags.value("--resume") {
+        Some(path) => match fleet::read_checkpoint(std::path::Path::new(path)) {
+            Ok(checkpoint) => Some(checkpoint),
+            Err(e) => {
+                eprintln!("fleet: cannot resume: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let mut config = match &resumed {
+        Some(checkpoint) => checkpoint.config(),
+        None => fleet::FleetConfig::default(),
+    };
+
+    let defaults = (
+        config.devices.to_string(),
+        config.seed.to_string(),
+        config.batch.to_string(),
+        config.duration.as_micros().div_ceil(1_000_000).to_string(),
+    );
+    let parsed = (|| -> Result<(), String> {
+        config.devices = parse_u64("--devices", &defaults.0)?;
+        config.seed = parse_u64("--seed", &defaults.1)?;
+        config.batch = parse_u64("--batch", &defaults.2)?.max(1);
+        config.jobs = flags
+            .value("--jobs")
+            .unwrap_or("0")
+            .parse::<usize>()
+            .map_err(|_| "--jobs must be an unsigned integer (0 = all cores)".to_string())?;
+        if flags.value("--duration").is_some() || resumed.is_none() {
+            config.duration = parse_duration(&flags, &defaults.3)?;
+        }
+        config.checkpoint_path = flags.value("--checkpoint").map(std::path::PathBuf::from);
+        config.checkpoint_every = parse_u64("--checkpoint-every", "64")?;
+        if config.checkpoint_path.is_some() && config.checkpoint_every == 0 {
+            return Err("--checkpoint-every must be positive when --checkpoint is set".into());
+        }
+        config.stop_after_checkpoints = match flags.value("--stop-after") {
+            Some(_) => Some(parse_u64("--stop-after", "1")?),
+            None => None,
+        };
+        if config.stop_after_checkpoints.is_some() && config.checkpoint_path.is_none() {
+            return Err("--stop-after requires --checkpoint <file.json>".into());
+        }
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+
+    // --replay-device K: re-run one device of the campaign in
+    // isolation. Pure sampling guarantees the result is field-for-field
+    // what the fleet scheduler produced for that index.
+    if let Some(value) = flags.value("--replay-device") {
+        let index = match value.parse::<u64>() {
+            Ok(index) => index,
+            Err(_) => {
+                eprintln!("--replay-device must be an unsigned integer");
+                return ExitCode::FAILURE;
+            }
+        };
+        if index >= config.devices {
+            eprintln!("--replay-device {index} is outside the {}-device campaign", config.devices);
+            return ExitCode::FAILURE;
+        }
+        let spec = fleet::DeviceSpec::sample(config.seed, index);
+        progress!("replaying {spec}…");
+        let result = fleet::replay_device(&config, index);
+        println!("{spec}");
+        println!("average power       {:.1} mW", result.avg_power_mw);
+        println!(
+            "average refresh     {:.1} Hz ({} switches)",
+            result.avg_refresh_hz, result.refresh_switches
+        );
+        println!("display quality     {:.1}%", result.quality_pct());
+        println!("dropped frames      {:.2} fps", result.dropped_fps());
+        return ExitCode::SUCCESS;
+    }
+
+    // --trace streams fleet.* and campaign.progress events as JSONL.
+    let sink = match flags.value("--trace") {
+        Some(out) => match JsonlSink::create(out) {
+            Ok(sink) => Some((Arc::new(sink), out)),
+            Err(e) => {
+                eprintln!("failed to create {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let obs = match &sink {
+        Some((sink, _)) => Obs::to_sink(sink.clone()),
+        None => Obs::disabled(),
+    };
+
+    progress!(
+        "{} {} devices ({} s each, batch {}, jobs {})…",
+        if resumed.is_some() { "resuming" } else { "simulating" },
+        config.devices,
+        config.duration.as_secs_f64(),
+        config.batch,
+        config.jobs
+    );
+    let started = std::time::Instant::now();
+    let outcome = match resumed {
+        Some(checkpoint) => fleet::resume(&config, checkpoint, &obs),
+        None => fleet::run(&config, &obs),
+    };
+    let outcome = match outcome {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    obs.flush();
+    let elapsed = started.elapsed().as_secs_f64();
+
+    println!(
+        "fleet               {}/{} devices ({}), {} wave(s), {} partial(s) merged, {} checkpoint(s)",
+        outcome.next_index,
+        outcome.devices,
+        if outcome.completed() { "complete" } else { "stopped at checkpoint" },
+        outcome.waves,
+        outcome.partials_merged,
+        outcome.checkpoints_written
+    );
+    println!("{}", outcome.stats);
+    if elapsed > 0.0 {
+        progress!(
+            "{} devices in {elapsed:.2} s host time — {:.0} devices/sec",
+            outcome.devices_run,
+            outcome.devices_run as f64 / elapsed
+        );
+    }
+
+    if let Some(path) = flags.value("--out") {
+        let document = outcome.stats.to_json().to_string() + "\n";
+        if let Err(e) = std::fs::write(path, document) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        progress!("wrote final campaign statistics to {path}");
+    }
+    if let Some((sink, out)) = sink {
+        if sink.io_errors() > 0 {
+            eprintln!(
+                "warning: {} I/O errors writing {out}: {}",
+                sink.io_errors(),
+                sink.last_error().unwrap_or_default()
+            );
+            return ExitCode::FAILURE;
+        }
+        progress!("wrote {} JSONL events to {out}", sink.lines_written());
+    }
     ExitCode::SUCCESS
 }
 

@@ -1,0 +1,226 @@
+//! End-to-end tests of the `ccdem fleet` CLI verb.
+//!
+//! Drives the real binary through the acceptance scenarios: worker
+//! count must not change the emitted statistics document, a campaign
+//! killed at a checkpoint and resumed must finish byte-identical to an
+//! uninterrupted one, `--replay-device` must reproduce a single device
+//! in isolation, and `--trace` must stream well-formed fleet.* events.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use ccdem::obs::json::{parse, Json};
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ccdem_fleet_e2e_{name}"))
+}
+
+fn fleet(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ccdem"))
+        .arg("fleet")
+        .args(args)
+        .arg("-q")
+        .output()
+        .expect("run ccdem fleet")
+}
+
+fn assert_clean(output: &std::process::Output) {
+    assert!(
+        output.status.success(),
+        "ccdem fleet failed: {}\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        output.stderr.is_empty(),
+        "quiet mode leaked progress output: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn fleet_statistics_are_byte_identical_across_worker_counts() {
+    let serial_out = temp("serial.json");
+    let parallel_out = temp("parallel.json");
+    for path in [&serial_out, &parallel_out] {
+        let _ = std::fs::remove_file(path);
+    }
+
+    let base = ["--devices", "24", "--duration", "1", "--seed", "11", "--batch", "4"];
+    let serial = fleet(&[&base[..], &["--jobs", "1", "--out", serial_out.to_str().unwrap()]].concat());
+    assert_clean(&serial);
+    let parallel =
+        fleet(&[&base[..], &["--jobs", "4", "--out", parallel_out.to_str().unwrap()]].concat());
+    assert_clean(&parallel);
+
+    let stdout = String::from_utf8_lossy(&serial.stdout);
+    assert!(
+        stdout.contains("24/24 devices (complete)"),
+        "missing completion line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("campaign percentiles over 24 runs:"),
+        "missing statistics table:\n{stdout}"
+    );
+    // The work-stealing partition differs (and so does the partials
+    // count in the summary line); the statistics table must not.
+    let table = |out: &[u8]| {
+        let text = String::from_utf8_lossy(out).to_string();
+        let start = text.find("campaign percentiles").expect("statistics table");
+        text[start..].to_string()
+    };
+    assert_eq!(
+        table(&serial.stdout),
+        table(&parallel.stdout),
+        "statistics table diverged across worker counts"
+    );
+    let serial_doc = std::fs::read(&serial_out).expect("serial --out written");
+    let parallel_doc = std::fs::read(&parallel_out).expect("parallel --out written");
+    assert!(!serial_doc.is_empty());
+    assert_eq!(serial_doc, parallel_doc, "--out diverged across worker counts");
+
+    for path in [&serial_out, &parallel_out] {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[test]
+fn killed_at_checkpoint_then_resumed_matches_uninterrupted_run() {
+    let full_out = temp("full.json");
+    let resumed_out = temp("resumed.json");
+    let checkpoint = temp("ckpt.json");
+    for path in [&full_out, &resumed_out, &checkpoint] {
+        let _ = std::fs::remove_file(path);
+    }
+
+    let base = ["--devices", "20", "--duration", "1", "--seed", "3", "--batch", "2"];
+    let uninterrupted =
+        fleet(&[&base[..], &["--jobs", "2", "--out", full_out.to_str().unwrap()]].concat());
+    assert_clean(&uninterrupted);
+
+    // Die after the first checkpoint — the stand-in for a mid-campaign
+    // crash with a durable checkpoint on disk.
+    let interrupted = fleet(
+        &[
+            &base[..],
+            &[
+                "--jobs",
+                "2",
+                "--checkpoint",
+                checkpoint.to_str().unwrap(),
+                "--checkpoint-every",
+                "3",
+                "--stop-after",
+                "1",
+            ],
+        ]
+        .concat(),
+    );
+    assert_clean(&interrupted);
+    let stdout = String::from_utf8_lossy(&interrupted.stdout);
+    assert!(
+        stdout.contains("6/20 devices (stopped at checkpoint)"),
+        "wrong interruption point:\n{stdout}"
+    );
+    let saved = std::fs::read_to_string(&checkpoint).expect("checkpoint written");
+    let value = parse(&saved).expect("checkpoint is valid JSON");
+    assert_eq!(
+        value.get("checkpoint").and_then(Json::as_str),
+        Some("ccdem-fleet-checkpoint-v1")
+    );
+
+    // Resume under a different worker count; only flags consistent with
+    // the checkpoint are needed — campaign shape comes from the file.
+    let resumed = fleet(&[
+        "--resume",
+        checkpoint.to_str().unwrap(),
+        "--jobs",
+        "3",
+        "--out",
+        resumed_out.to_str().unwrap(),
+    ]);
+    assert_clean(&resumed);
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(
+        stdout.contains("20/20 devices (complete)"),
+        "resume did not finish the campaign:\n{stdout}"
+    );
+
+    let full_doc = std::fs::read(&full_out).expect("uninterrupted --out written");
+    let resumed_doc = std::fs::read(&resumed_out).expect("resumed --out written");
+    assert_eq!(
+        full_doc, resumed_doc,
+        "kill + resume produced different statistics than an uninterrupted run"
+    );
+
+    // A resume whose explicit flags contradict the checkpoint is an
+    // error, not a silently different campaign.
+    let mismatched = fleet(&["--resume", checkpoint.to_str().unwrap(), "--devices", "40"]);
+    assert!(
+        !mismatched.status.success(),
+        "mismatched --devices on resume must fail"
+    );
+
+    for path in [&full_out, &resumed_out, &checkpoint] {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[test]
+fn replay_device_prints_the_sampled_spec_and_its_metrics() {
+    let output = fleet(&[
+        "--devices", "32", "--duration", "1", "--seed", "11", "--replay-device", "7",
+    ]);
+    assert_clean(&output);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("device 7:"), "missing device spec line:\n{stdout}");
+    for line in ["average power", "average refresh", "display quality", "dropped frames"] {
+        assert!(stdout.contains(line), "missing {line:?} line:\n{stdout}");
+    }
+
+    // Out-of-range replay indices are rejected up front.
+    let out_of_range = fleet(&["--devices", "8", "--replay-device", "8"]);
+    assert!(!out_of_range.status.success());
+}
+
+#[test]
+fn trace_streams_well_formed_fleet_events() {
+    let trace = temp("trace.jsonl");
+    let _ = std::fs::remove_file(&trace);
+
+    let output = fleet(&[
+        "--devices",
+        "8",
+        "--duration",
+        "1",
+        "--seed",
+        "2",
+        "--batch",
+        "2",
+        "--jobs",
+        "2",
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert_clean(&output);
+
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let mut names = Vec::new();
+    for line in text.lines() {
+        let value = parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+        let name = value
+            .get("event")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("line without event name: {line}"))
+            .to_string();
+        names.push(name);
+    }
+    assert_eq!(names.first().map(String::as_str), Some("fleet.start"));
+    assert_eq!(names.last().map(String::as_str), Some("fleet.end"));
+    assert!(
+        names.iter().any(|n| n == "campaign.progress"),
+        "no campaign.progress events in the trace: {names:?}"
+    );
+
+    let _ = std::fs::remove_file(&trace);
+}
