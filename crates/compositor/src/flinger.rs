@@ -92,6 +92,9 @@ pub struct SurfaceFlinger {
     /// Recycled pixel storage new surfaces draw from; empty unless
     /// constructed via [`with_pool`](Self::with_pool).
     pool: PixelPool,
+    /// Scratch for the per-compose z-order sort, reused across frames so
+    /// the compose path stays allocation-free in steady state.
+    order_scratch: Vec<(i32, usize)>,
 }
 
 impl SurfaceFlinger {
@@ -118,6 +121,7 @@ impl SurfaceFlinger {
             composed_layout: None,
             naive_compose: false,
             pool,
+            order_scratch: Vec::new(),
         }
     }
 
@@ -248,15 +252,16 @@ impl SurfaceFlinger {
 
     fn blit_surfaces(&mut self) {
         // Compose in ascending z-order; opaque surfaces copy, translucent
-        // ones blend. Ties sort by surface slot, oldest underneath.
-        let mut order: Vec<(i32, usize)> = self
-            .surfaces
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.is_visible())
-            .map(|(i, s)| (s.z_order(), i))
-            .collect();
-        order.sort_unstable();
+        // ones blend. Ties sort by surface slot, oldest underneath. The
+        // sort scratch lives on the struct so steady-state composes do
+        // not allocate (alloc-hot-path contract, DESIGN.md §10).
+        self.order_scratch.clear();
+        for (i, s) in self.surfaces.iter().enumerate() {
+            if s.is_visible() {
+                self.order_scratch.push((s.z_order(), i));
+            }
+        }
+        self.order_scratch.sort_unstable();
 
         let stamp = (
             self.surfaces.len(),
@@ -267,7 +272,7 @@ impl SurfaceFlinger {
         );
         let full = self.naive_compose
             || self.composed_layout != Some(stamp)
-            || !self.composition_is_pure(&order);
+            || !self.composition_is_pure(&self.order_scratch);
         self.composed_layout = Some(stamp);
 
         // Decide which screen region to recompose. While the layout is
@@ -298,14 +303,14 @@ impl SurfaceFlinger {
             region
         };
 
-        if order.is_empty() || region.is_empty() {
+        if self.order_scratch.is_empty() || region.is_empty() {
             // No visible surfaces, or none of them drew anything new
             // on-screen: the hardware write still happens, with pixels
             // identical to the previous frame.
             self.framebuffer.touch();
             return;
         }
-        for (_, i) in order {
+        for &(_, i) in &self.order_scratch {
             let Some(surface) = self.surfaces.get(i) else {
                 continue;
             };

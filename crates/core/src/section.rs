@@ -74,6 +74,8 @@ impl SectionTable {
         let mut thresholds = Vec::with_capacity(slice.len());
         let mut prev_hz = 0.0;
         for r in slice {
+            // ccdem-lint: allow(arith-cast) — f64 midpoint of two panel
+            // rates (Eq. 1); not integer fixed-point math.
             thresholds.push((prev_hz + r.hz_f64()) / 2.0);
             prev_hz = r.hz_f64();
         }

@@ -104,14 +104,23 @@ impl Baseline {
     /// `(lint, file)` group at or under its baseline budget, the whole
     /// group is baselined; any group over budget is reported in full,
     /// with a trailing note diagnostic naming the excess.
+    ///
+    /// Hot-path findings (`Diagnostic::hot`) are never baselined: they
+    /// report regardless of budget and do not count against the
+    /// group's budget — the ratchet cannot grandfather a panic or an
+    /// allocation that the call graph proves reachable from a root.
     pub fn apply(&self, diagnostics: Vec<Diagnostic>) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
         let mut counts: BTreeMap<(LintId, String), usize> = BTreeMap::new();
-        for d in &diagnostics {
+        for d in diagnostics.iter().filter(|d| !d.hot) {
             *counts.entry((d.id, d.file.clone())).or_insert(0) += 1;
         }
         let mut reported = Vec::new();
         let mut baselined = Vec::new();
         for d in diagnostics {
+            if d.hot {
+                reported.push(d);
+                continue;
+            }
             let key = (d.id, d.file.clone());
             let found = counts.get(&key).copied().unwrap_or(0);
             let budget = self.entries.get(&key).copied().unwrap_or(0);
@@ -130,8 +139,8 @@ impl Baseline {
         let mut noted: Vec<(LintId, String)> = Vec::new();
         for key in over {
             let budget = self.entries.get(&key).copied().unwrap_or(0);
-            if budget > 0 && !noted.contains(&key) {
-                let found = counts.get(&key).copied().unwrap_or(0);
+            let found = counts.get(&key).copied().unwrap_or(0);
+            if budget > 0 && found > budget && !noted.contains(&key) {
                 reported.push(Diagnostic::new(
                     key.0,
                     key.1.clone(),
@@ -145,6 +154,17 @@ impl Baseline {
             }
         }
         (reported, baselined)
+    }
+
+    /// The `(lint, file) → budget` entries, in sorted order (for the
+    /// stale-budget audit and `--stats`).
+    pub fn entries(&self) -> impl Iterator<Item = (&(LintId, String), usize)> {
+        self.entries.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Sum of all granted budgets.
+    pub fn total(&self) -> usize {
+        self.entries.values().sum()
     }
 
     /// Number of `(lint, file)` entries.

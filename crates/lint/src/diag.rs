@@ -19,18 +19,30 @@ pub enum LintId {
     ObsTaxonomy,
     /// The Eq. 1 section-table invariants.
     SectionTable,
+    /// Heap allocation inside a function reachable from a hot-path
+    /// root (never baselinable; suppressible by documented allow).
+    AllocHotPath,
+    /// A truncating `as` cast or unchecked `+`/`*` in fixed-point code.
+    ArithCast,
+    /// An `Ordering::*` argument in `crates/obs` without a written
+    /// justification.
+    AtomicsOrdering,
     /// The lint tool itself failed to process a file (lexer error,
-    /// unreadable file). Always fatal.
+    /// unreadable file), or found its own configuration stale (unused
+    /// suppressions, slack `lint.allow` budgets). Always fatal.
     Internal,
 }
 
 impl LintId {
     /// All suppressible lint families.
-    pub const ALL: [LintId; 4] = [
+    pub const ALL: [LintId; 7] = [
         LintId::Determinism,
         LintId::Panic,
         LintId::ObsTaxonomy,
         LintId::SectionTable,
+        LintId::AllocHotPath,
+        LintId::ArithCast,
+        LintId::AtomicsOrdering,
     ];
 
     /// The stable string form.
@@ -40,6 +52,9 @@ impl LintId {
             LintId::Panic => "panic",
             LintId::ObsTaxonomy => "obs-taxonomy",
             LintId::SectionTable => "section-table",
+            LintId::AllocHotPath => "alloc-hot-path",
+            LintId::ArithCast => "arith-cast",
+            LintId::AtomicsOrdering => "atomics-ordering",
             LintId::Internal => "internal",
         }
     }
@@ -68,6 +83,11 @@ pub struct Diagnostic {
     pub line: u32,
     /// Human-readable description.
     pub message: String,
+    /// Whether the finding sits on the hot path (inside a function
+    /// reachable from a hot-path root). Hot findings are never
+    /// absorbed by the `lint.allow` baseline — only an explicit,
+    /// documented line allow can silence them.
+    pub hot: bool,
 }
 
 impl Diagnostic {
@@ -78,6 +98,7 @@ impl Diagnostic {
             file: file.into(),
             line,
             message: message.into(),
+            hot: false,
         }
     }
 
@@ -99,6 +120,9 @@ impl Diagnostic {
         out.push_str(&self.line.to_string());
         out.push_str(",\"message\":");
         write_json_string(&mut out, &self.message);
+        if self.hot {
+            out.push_str(",\"hot\":true");
+        }
         out.push_str("}}");
         out
     }

@@ -1,12 +1,19 @@
 //! `ccdem-lint` — workspace static analysis with zero dependencies.
 //!
-//! Four lint families guard invariants the compiler cannot see
+//! Seven lint families guard invariants the compiler cannot see
 //! (DESIGN.md §10):
 //!
 //! * **determinism** — no host clocks, unscoped threads, or
 //!   randomized-order hash containers in result-affecting crates;
 //! * **panic** — no `unwrap()` / `expect(…)` / `panic!` / unchecked
-//!   indexing in library code;
+//!   indexing in library code; panics inside functions the call graph
+//!   proves reachable from a hot-path root are never baselinable;
+//! * **alloc-hot-path** — no heap allocation reachable from a hot-path
+//!   root ([`callgraph`]);
+//! * **arith-cast** — no truncating `as` casts or unchecked `+`/`*` in
+//!   the fixed-point files;
+//! * **atomics-ordering** — every `Ordering::*` in `crates/obs` carries
+//!   a written justification;
 //! * **obs-taxonomy** — the emitted event/metric names and the DESIGN.md
 //!   §8 taxonomy tables agree in both directions;
 //! * **section-table** — Eq. 1 (median thresholds, headroom, 60 Hz cap)
@@ -14,23 +21,33 @@
 //!
 //! Everything is built on a hand-rolled Rust lexer ([`lexer`]) — no
 //! `syn`, no `proc-macro2` — because the workspace builds offline with
-//! no external crates. Findings can be suppressed per line with
-//! `// ccdem-lint: allow(<id>)` comments ([`source`]) or absorbed by the
-//! committed `lint.allow` count ratchet ([`baseline`]).
+//! no external crates. On top of the lexer, [`parse`] recovers item
+//! nesting and call sites, and [`callgraph`] computes which functions
+//! are reachable from the declared hot-path roots. Findings can be
+//! suppressed per line with `// ccdem-lint: allow(<id>)` comments
+//! ([`source`]) or absorbed by the committed `lint.allow` count ratchet
+//! ([`baseline`]); a suppression that suppresses nothing and a budget
+//! with slack are themselves findings, so the ratchet only tightens.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod diag;
 pub mod lexer;
 pub mod lints;
+pub mod parse;
 pub mod source;
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::baseline::Baseline;
+use crate::callgraph::CallGraph;
 use crate::diag::{Diagnostic, LintId};
-use crate::lints::{determinism, panic as panic_lint, section_table, taxonomy};
+use crate::lints::{
+    alloc_hot_path, arith_cast, atomics_ordering, determinism, panic as panic_lint,
+    section_table, taxonomy,
+};
 use crate::source::SourceFile;
 
 /// The committed baseline file, at the workspace root.
@@ -76,6 +93,22 @@ pub struct Report {
     pub files_scanned: usize,
     /// Whether `--fix-baseline` rewrote `lint.allow`.
     pub baseline_rewritten: bool,
+    /// Analyzer-level numbers for `--stats`.
+    pub stats: Stats,
+}
+
+/// Analyzer statistics for `ccdem lint --stats`.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Findings per family before suppression and baselining (so the
+    /// counts describe what the analyzer saw, not what survived).
+    pub family_counts: BTreeMap<LintId, usize>,
+    /// Functions parsed across the workspace.
+    pub fn_count: usize,
+    /// Functions reachable from the hot-path roots.
+    pub reachable_fns: usize,
+    /// Total violation budget granted by `lint.allow`.
+    pub baseline_total: usize,
 }
 
 impl Report {
@@ -145,11 +178,20 @@ pub fn run(options: &LintOptions) -> Result<Report, String> {
         }
     }
 
+    // The cross-crate call graph: every function, with reachability
+    // from the declared hot-path roots, gated by Cargo dependency
+    // direction.
+    let deps = workspace_deps(root);
+    let graph = CallGraph::build(files.values(), &deps, callgraph::HOT_PATH_ROOTS);
+
     // Per-file families, plus the taxonomy emission sweep.
     let mut emissions = Vec::new();
     for file in files.values() {
         determinism::check(file, &mut diagnostics);
         panic_lint::check(file, &mut diagnostics);
+        alloc_hot_path::check(file, &graph, &mut diagnostics);
+        arith_cast::check(file, &mut diagnostics);
+        atomics_ordering::check(file, &mut diagnostics);
         taxonomy::collect(file, &mut emissions);
     }
 
@@ -180,25 +222,73 @@ pub fn run(options: &LintOptions) -> Result<Report, String> {
         &mut diagnostics,
     );
 
-    // Line-level suppressions.
+    // Reachability-aware severity: a panic finding inside a function
+    // reachable from a hot-path root can never be baselined — only a
+    // documented line allow may silence it.
+    for d in &mut diagnostics {
+        if d.id == LintId::Panic && !d.hot {
+            if let Some(witness) = graph.hot(&d.file, d.line) {
+                d.hot = true;
+                d.message.push_str(&format!(" [hot path: reachable from {witness}]"));
+            }
+        }
+    }
+
+    let mut family_counts: BTreeMap<LintId, usize> = BTreeMap::new();
+    for d in &diagnostics {
+        *family_counts.entry(d.id).or_insert(0) += 1;
+    }
+
+    // Line-level suppressions, tracking which allow entries fired so a
+    // suppression that suppresses nothing becomes a finding itself.
     let before = diagnostics.len();
+    let mut used_allows: BTreeSet<(String, usize)> = BTreeSet::new();
     diagnostics.retain(|d| {
-        !files
-            .get(&d.file)
-            .is_some_and(|f| f.is_allowed(d.id, d.line))
+        let Some(file) = files.get(&d.file) else {
+            return true;
+        };
+        let hits: Vec<usize> = file.allow_indices(d.id, d.line).collect();
+        if hits.is_empty() {
+            return true;
+        }
+        for ix in hits {
+            used_allows.insert((d.file.clone(), ix));
+        }
+        false
     });
     let suppressed = before - diagnostics.len();
+    for file in files.values() {
+        for (ix, allow) in file.allows().iter().enumerate() {
+            if file.is_test_line(allow.comment_line) {
+                continue;
+            }
+            if !used_allows.contains(&(file.path.clone(), ix)) {
+                diagnostics.push(Diagnostic::new(
+                    LintId::Internal,
+                    file.path.clone(),
+                    allow.comment_line,
+                    format!(
+                        "stale suppression: `allow({})` matches no finding; \
+                         delete the comment or narrow it",
+                        allow.id
+                    ),
+                ));
+            }
+        }
+    }
 
     sort_diagnostics(&mut diagnostics);
 
     // The baseline ratchet. `--fix-baseline` rewrites the file to the
-    // current findings (internal findings are never baselinable).
+    // current findings (internal and hot-path findings are never
+    // baselinable); otherwise a budget with slack is itself a finding,
+    // so the ratchet only tightens.
     let baseline_path = root.join(BASELINE_FILE);
     let mut baseline_rewritten = false;
     let baseline = if options.fix_baseline {
         let baselinable: Vec<Diagnostic> = diagnostics
             .iter()
-            .filter(|d| d.id != LintId::Internal)
+            .filter(|d| d.id != LintId::Internal && !d.hot)
             .cloned()
             .collect();
         let rendered = Baseline::render(&baselinable);
@@ -212,6 +302,34 @@ pub fn run(options: &LintOptions) -> Result<Report, String> {
             Err(_) => Baseline::default(),
         }
     };
+    if !options.fix_baseline {
+        let mut live: BTreeMap<(LintId, String), usize> = BTreeMap::new();
+        for d in diagnostics.iter().filter(|d| !d.hot && d.id != LintId::Internal) {
+            *live.entry((d.id, d.file.clone())).or_insert(0) += 1;
+        }
+        for ((id, file), budget) in baseline.entries() {
+            let found = live.get(&(*id, file.clone())).copied().unwrap_or(0);
+            if found < budget {
+                diagnostics.push(Diagnostic::new(
+                    LintId::Internal,
+                    file.clone(),
+                    0,
+                    format!(
+                        "stale baseline: lint.allow grants {budget} `{id}` \
+                         finding(s) here but only {found} exist; run \
+                         `ccdem lint --fix-baseline` to tighten the ratchet"
+                    ),
+                ));
+            }
+        }
+        sort_diagnostics(&mut diagnostics);
+    }
+    let stats = Stats {
+        family_counts,
+        fn_count: graph.fn_count(),
+        reachable_fns: graph.reachable_count(),
+        baseline_total: baseline.total(),
+    };
     let (mut reported, baselined) = baseline.apply(diagnostics);
     sort_diagnostics(&mut reported);
 
@@ -221,7 +339,58 @@ pub fn run(options: &LintOptions) -> Result<Report, String> {
         suppressed,
         files_scanned,
         baseline_rewritten,
+        stats,
     })
+}
+
+/// Direct `ccdem-*` dependencies per workspace crate, scraped from the
+/// `[dependencies]` sections of the crate manifests (dev-dependencies
+/// are excluded: test-only edges must not make cold code hot). Missing
+/// manifests — miniature test workspaces — yield empty sets, which
+/// restricts call resolution to same-crate edges there.
+fn workspace_deps(root: &Path) -> BTreeMap<String, BTreeSet<String>> {
+    let mut out = BTreeMap::new();
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for entry in entries.filter_map(Result::ok) {
+            let dir = entry.path();
+            if !dir.is_dir() {
+                continue;
+            }
+            let name = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            out.insert(name, manifest_deps(&dir.join("Cargo.toml")));
+        }
+    }
+    out.insert("ccdem".to_string(), manifest_deps(&root.join("Cargo.toml")));
+    out
+}
+
+/// The `ccdem-*` dependency names in a manifest's `[dependencies]`
+/// section, mapped to crate directory names (`ccdem-obs` → `obs`).
+fn manifest_deps(path: &Path) -> BTreeSet<String> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return BTreeSet::new();
+    };
+    let mut out = BTreeSet::new();
+    let mut in_deps = false;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with('[') {
+            in_deps = trimmed == "[dependencies]";
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        if let Some(name) = trimmed.split(['.', ' ', '=']).next() {
+            if let Some(dep) = name.strip_prefix("ccdem-") {
+                out.insert(dep.to_string());
+            }
+        }
+    }
+    out
 }
 
 fn sort_diagnostics(diagnostics: &mut [Diagnostic]) {

@@ -19,8 +19,22 @@ pub struct SourceFile {
     /// Inclusive line ranges occupied by `#[cfg(test)]` / `#[test]`
     /// items; lints treat these as test code.
     test_ranges: Vec<(u32, u32)>,
-    /// Per-line suppressions from `// ccdem-lint: allow(…)` comments.
-    allows: Vec<(u32, LintId)>,
+    /// Suppressions from `// ccdem-lint: allow(…)` comments.
+    allows: Vec<Allow>,
+}
+
+/// One `(comment, lint-id)` suppression entry. A comment naming several
+/// ids yields one entry per id, so staleness is tracked per id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The suppressed lint family.
+    pub id: LintId,
+    /// 1-based line of the allow comment itself (where a staleness
+    /// finding anchors).
+    pub comment_line: u32,
+    /// Inclusive line range the suppression covers: the comment block
+    /// plus the line after it.
+    pub lines: (u32, u32),
 }
 
 impl SourceFile {
@@ -47,7 +61,23 @@ impl SourceFile {
 
     /// Whether a `// ccdem-lint: allow(id)` suppression covers `line`.
     pub fn is_allowed(&self, id: LintId, line: u32) -> bool {
-        self.allows.iter().any(|&(l, i)| l == line && i == id)
+        self.allow_indices(id, line).next().is_some()
+    }
+
+    /// Indices (into [`allows`](Self::allows)) of every suppression
+    /// entry covering `(id, line)` — the driver marks these used for
+    /// stale-suppression detection.
+    pub fn allow_indices(&self, id: LintId, line: u32) -> impl Iterator<Item = usize> + '_ {
+        self.allows
+            .iter()
+            .enumerate()
+            .filter(move |(_, a)| a.id == id && (a.lines.0..=a.lines.1).contains(&line))
+            .map(|(i, _)| i)
+    }
+
+    /// Every suppression entry in the file.
+    pub fn allows(&self) -> &[Allow] {
+        &self.allows
     }
 
     /// The number of distinct allow entries in the file (for reporting).
@@ -70,9 +100,16 @@ impl SourceFile {
 /// When the justification spans several consecutive `//` lines, coverage
 /// extends through the whole block to the line after its last comment —
 /// the allow can sit on any line of the block.
-fn allows(comments: &[Comment]) -> Vec<(u32, LintId)> {
+///
+/// Doc comments (`///`, `//!`, `/**`, `/*!`) are skipped: prose and
+/// examples about the allow syntax must not create live suppressions
+/// (which would then be flagged as stale).
+fn allows(comments: &[Comment]) -> Vec<Allow> {
     let mut out = Vec::new();
     for (k, comment) in comments.iter().enumerate() {
+        if is_doc_comment(&comment.text) {
+            continue;
+        }
         let Some(rest) = comment.text.split("ccdem-lint:").nth(1) else {
             continue;
         };
@@ -94,13 +131,20 @@ fn allows(comments: &[Comment]) -> Vec<(u32, LintId)> {
         }
         for raw in list.split(',') {
             if let Some(id) = LintId::parse(raw.trim()) {
-                for line in comment.line..=end + 1 {
-                    out.push((line, id));
-                }
+                out.push(Allow {
+                    id,
+                    comment_line: comment.line,
+                    lines: (comment.line, end + 1),
+                });
             }
         }
     }
     out
+}
+
+/// Whether a raw comment (prefix included) is a doc comment.
+fn is_doc_comment(text: &str) -> bool {
+    text.starts_with("///") || text.starts_with("//!") || text.starts_with("/**") || text.starts_with("/*!")
 }
 
 /// Finds the inclusive line ranges of items annotated `#[cfg(test)]`

@@ -301,6 +301,7 @@ impl MiniWorkspace {
              let mut prev = 0.0;\n    \
              let mut out = Vec::new();\n    \
              for r in rates {\n        \
+             // ccdem-lint: allow(arith-cast) \u{2014} f64 midpoint, not fixed point\n        \
              out.push((prev + r) / 2.0);\n        \
              prev = *r;\n    }\n    out\n}\n",
         );
@@ -316,7 +317,12 @@ impl MiniWorkspace {
     }
 
     fn lint(&self) -> (i32, String) {
+        self.lint_args(&[])
+    }
+
+    fn lint_args(&self, args: &[&str]) -> (i32, String) {
         let output = Command::new(env!("CARGO_BIN_EXE_ccdem-lint"))
+            .args(args)
             .current_dir(&self.root)
             .output()
             .expect("run ccdem-lint");
@@ -324,6 +330,10 @@ impl MiniWorkspace {
             output.status.code().unwrap_or(-1),
             String::from_utf8_lossy(&output.stdout).into_owned(),
         )
+    }
+
+    fn read(&self, rel: &str) -> String {
+        fs::read_to_string(self.root.join(rel)).expect("read")
     }
 }
 
@@ -391,12 +401,143 @@ fn e2e_seeded_section_table_violation_fails() {
          let mut prev = 0.0;\n    \
          let mut out = Vec::new();\n    \
          for r in rates {\n        \
+         // ccdem-lint: allow(arith-cast) \u{2014} f64 midpoint, not fixed point\n        \
          out.push((prev + r) / 2.0);\n        \
          prev = *r;\n    }\n    out\n}\n",
     );
     let (code, stdout) = w.lint();
     assert_eq!(code, 1, "stdout:\n{stdout}");
     assert!(stdout.contains("[section-table]"), "{stdout}");
+}
+
+#[test]
+fn e2e_stale_suppression_flags_and_stale_budget_tightens() {
+    let w = MiniWorkspace::new("stale");
+    // An allow comment with nothing to suppress is itself a finding.
+    w.write(
+        "crates/core/src/fine.rs",
+        "pub fn f(v: &[u32]) -> u32 {\n    \
+         // ccdem-lint: allow(panic) \u{2014} nothing here panics any more\n    \
+         v.first().copied().unwrap_or(0)\n}\n",
+    );
+    // A budget larger than the live finding count is stale too.
+    w.write(
+        "lint.allow",
+        "# test baseline\npanic crates/core/src/fine.rs 3\n",
+    );
+    let (code, stdout) = w.lint();
+    assert_eq!(code, 1, "stdout:\n{stdout}");
+    assert!(stdout.contains("stale suppression"), "{stdout}");
+    assert!(stdout.contains("stale baseline"), "{stdout}");
+
+    // --fix-baseline tightens the budget to the live count (zero here:
+    // the file's entry disappears entirely).
+    let (fix_code, _) = w.lint_args(&["--fix-baseline"]);
+    assert_eq!(fix_code, 1, "the stale allow comment still reports");
+    assert!(
+        !w.read("lint.allow").contains("fine.rs"),
+        "budget must drop to the live count: {}",
+        w.read("lint.allow")
+    );
+}
+
+#[test]
+fn e2e_seeded_alloc_hot_path_violation_fails() {
+    let w = MiniWorkspace::new("alloc");
+    // `Governor::decide` is a hot-path root; the Vec::new inside the
+    // helper it calls is reachable and must flag, with a witness naming
+    // the root.
+    w.write(
+        "crates/core/src/governor.rs",
+        "pub struct Governor;\n\
+         impl Governor {\n    \
+         pub fn decide(&mut self) {\n        \
+         scratch_rates();\n    }\n}\n\
+         fn scratch_rates() -> Vec<f64> {\n    \
+         Vec::new()\n}\n",
+    );
+    let (code, stdout) = w.lint();
+    assert_eq!(code, 1, "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("[alloc-hot-path]") && stdout.contains("Governor::decide"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn e2e_cold_alloc_does_not_flag() {
+    let w = MiniWorkspace::new("alloc-cold");
+    // Same allocation, but nothing reachable from a root calls it.
+    w.write(
+        "crates/core/src/scratch.rs",
+        "pub fn scratch_rates() -> Vec<f64> {\n    Vec::new()\n}\n",
+    );
+    let (code, stdout) = w.lint();
+    assert_eq!(code, 0, "cold allocations are fine:\n{stdout}");
+}
+
+#[test]
+fn e2e_seeded_arith_cast_violation_fails() {
+    let w = MiniWorkspace::new("arith");
+    w.write(
+        "crates/core/src/section.rs",
+        "//! | 0 \u{2013} 10 | 20 Hz |\n\
+         //! | 10 \u{2013} 60 | 60 Hz |\n\
+         pub fn quantize(v: f64, scale: u64) -> u64 {\n    \
+         (v * scale as f64) as u64\n}\n",
+    );
+    let (code, stdout) = w.lint();
+    assert_eq!(code, 1, "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("[arith-cast]") && stdout.contains("as u64"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn e2e_seeded_atomics_ordering_violation_fails() {
+    let w = MiniWorkspace::new("atomics");
+    // An unjustified bare SeqCst in crates/obs must flag; the justified
+    // Relaxed two lines up must not.
+    w.write(
+        "crates/obs/src/counter.rs",
+        "use std::sync::atomic::{AtomicU64, Ordering};\n\
+         pub fn bump(c: &AtomicU64) -> u64 {\n    \
+         // ordering: relaxed \u{2014} independent counter, no ordering needed\n    \
+         c.fetch_add(1, Ordering::Relaxed);\n    \
+         c.load(Ordering::SeqCst)\n}\n",
+    );
+    let (code, stdout) = w.lint();
+    assert_eq!(code, 1, "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("[atomics-ordering]") && stdout.contains("counter.rs:5"),
+        "the unjustified SeqCst load (and only it) must flag:\n{stdout}"
+    );
+    assert!(!stdout.contains("counter.rs:4"), "{stdout}");
+}
+
+#[test]
+fn e2e_hot_panic_is_never_baselinable() {
+    let w = MiniWorkspace::new("hot-panic");
+    // A panic reachable from a root is internal severity: a lint.allow
+    // budget cannot absorb it.
+    w.write(
+        "crates/core/src/governor.rs",
+        "pub struct Governor;\n\
+         impl Governor {\n    \
+         pub fn decide(&mut self, v: &[u32]) -> u32 {\n        \
+         v[0]\n    }\n}\n",
+    );
+    w.write(
+        "lint.allow",
+        "# test baseline\npanic crates/core/src/governor.rs 1\n",
+    );
+    let (code, stdout) = w.lint();
+    assert_eq!(code, 1, "hot panic must not be baselinable:\n{stdout}");
+    assert!(
+        stdout.contains("[panic]") && stdout.contains("hot path"),
+        "{stdout}"
+    );
 }
 
 #[test]

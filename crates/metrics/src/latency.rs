@@ -35,7 +35,7 @@ pub fn input_to_photon(touches: &[SimTime], scanouts: &[SimTime]) -> Vec<SimDura
     let mut out = Vec::with_capacity(touches.len());
     let mut cursor = 0usize;
     for &touch in touches {
-        while cursor < scanouts.len() && scanouts[cursor] < touch {
+        while scanouts.get(cursor).is_some_and(|&s| s < touch) {
             cursor += 1;
         }
         if let Some(&scanout) = scanouts.get(cursor) {

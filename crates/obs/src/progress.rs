@@ -13,11 +13,14 @@ static QUIET: AtomicBool = AtomicBool::new(false);
 /// Suppresses (or re-enables) all [`progress!`](crate::progress!) output
 /// process-wide.
 pub fn set_quiet(quiet: bool) {
+    // ordering: relaxed — an isolated flag with no data published under
+    // it; a racing reader printing one extra line is acceptable.
     QUIET.store(quiet, Ordering::Relaxed);
 }
 
 /// Whether progress output is currently suppressed.
 pub fn quiet() -> bool {
+    // ordering: relaxed — see `set_quiet`; no happens-before needed.
     QUIET.load(Ordering::Relaxed)
 }
 

@@ -36,11 +36,14 @@ impl Counter {
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
+        // ordering: relaxed — a monotonic counter; readers only need an
+        // eventually-consistent total, no happens-before edge.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ordering: relaxed — snapshot read of an independent counter.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -63,11 +66,14 @@ impl Gauge {
 
     /// Stores `value`.
     pub fn set(&self, value: f64) {
+        // ordering: relaxed — last-write-wins gauge; the bit pattern is
+        // a single word, so no tearing and no ordering needed.
         self.0.store(value.to_bits(), Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> f64 {
+        // ordering: relaxed — see `set`; any recent value is valid.
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 }
@@ -133,27 +139,37 @@ impl AtomicHistogram {
             return;
         }
         if value < self.lo {
+            // ordering: relaxed — monotonic counter, no data published.
             self.underflow.fetch_add(1, Ordering::Relaxed);
         } else if value >= self.hi {
+            // ordering: relaxed — monotonic counter, no data published.
             self.overflow.fetch_add(1, Ordering::Relaxed);
         } else {
             let width = (self.hi - self.lo) / self.bins.len() as f64;
             let idx = ((value - self.lo) / width) as usize;
             // Guard the hi-boundary rounding case, as simkit does.
             let idx = idx.min(self.bins.len() - 1);
-            self.bins[idx].fetch_add(1, Ordering::Relaxed);
+            if let Some(bin) = self.bins.get(idx) {
+                // ordering: relaxed — independent monotonic counter; the
+                // snapshot tolerates torn cross-bin reads by design.
+                bin.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
     /// Materialises the current counts as a plain [`Histogram`].
     pub fn snapshot(&self) -> Histogram {
-        Histogram::from_parts(
-            self.lo,
-            self.hi,
-            self.bins.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
-            self.underflow.load(Ordering::Relaxed),
-            self.overflow.load(Ordering::Relaxed),
-        )
+        // The snapshot is advisory telemetry: bins read at slightly
+        // different instants may tear across bins, which is acceptable,
+        // so no acquire edge is required on any of these loads.
+        let bins: Vec<u64> = self
+            .bins
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed)) // ordering: relaxed — see above
+            .collect();
+        let underflow = self.underflow.load(Ordering::Relaxed); // ordering: relaxed — see above
+        let overflow = self.overflow.load(Ordering::Relaxed); // ordering: relaxed — see above
+        Histogram::from_parts(self.lo, self.hi, bins, underflow, overflow)
     }
 }
 

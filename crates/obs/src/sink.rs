@@ -121,6 +121,7 @@ impl RingSink {
 
     /// How many events this sink has evicted because the ring was full.
     pub fn dropped(&self) -> u64 {
+        // ordering: relaxed — monotonic counter read for reporting.
         self.dropped.load(Ordering::Relaxed)
     }
 }
@@ -130,6 +131,8 @@ impl EventSink for RingSink {
         if let Ok(mut buffer) = self.buffer.lock() {
             if buffer.len() == self.capacity {
                 buffer.pop_front();
+                // ordering: relaxed — monotonic counter; the mutex on
+                // `buffer` already orders the eviction itself.
                 self.dropped.fetch_add(1, Ordering::Relaxed);
                 self.dropped_metric.inc();
             }
@@ -198,11 +201,13 @@ impl JsonlSink {
 
     /// Number of lines successfully written so far.
     pub fn lines_written(&self) -> u64 {
+        // ordering: relaxed — monotonic counter read for reporting.
         self.lines.load(Ordering::Relaxed)
     }
 
     /// Number of failed writes/flushes so far.
     pub fn io_errors(&self) -> u64 {
+        // ordering: relaxed — monotonic counter read for reporting.
         self.io_errors.load(Ordering::Relaxed)
     }
 
@@ -233,6 +238,8 @@ impl JsonlSink {
     }
 
     fn note_error(&self, error: &io::Error) {
+        // ordering: relaxed — monotonic counter; `last_error`'s mutex
+        // publishes the error text, the count needs no edge of its own.
         self.io_errors.fetch_add(1, Ordering::Relaxed);
         self.io_errors_metric.inc();
         if let Ok(mut last) = self.last_error.lock() {
@@ -248,6 +255,8 @@ impl EventSink for JsonlSink {
         if let Ok(mut writer) = self.writer.lock() {
             match writer.write_all(line.as_bytes()) {
                 Ok(()) => {
+                    // ordering: relaxed — monotonic counter; the writer
+                    // mutex already orders the write it counts.
                     self.lines.fetch_add(1, Ordering::Relaxed);
                 }
                 Err(error) => self.note_error(&error),

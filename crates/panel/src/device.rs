@@ -101,7 +101,7 @@ impl DeviceProfile {
             RefreshRateSet::new(
                 [10u32, 24, 30, 60, 90, 120].map(RefreshRate::new),
             )
-            .expect("static set is valid"),
+            .unwrap_or_else(|_| RefreshRateSet::fixed(RefreshRate::HZ_60)),
             PanelKind::Oled,
             SimDuration::from_millis(8),
         )
@@ -113,7 +113,7 @@ impl DeviceProfile {
             "90 Hz LCD tablet",
             Resolution::new(1200, 2000),
             RefreshRateSet::new([30u32, 60, 90].map(RefreshRate::new))
-                .expect("static set is valid"),
+                .unwrap_or_else(|_| RefreshRateSet::fixed(RefreshRate::HZ_60)),
             PanelKind::Lcd,
             SimDuration::from_millis(16),
         )

@@ -165,7 +165,7 @@ impl FrameBuffer {
             "pixel ({x},{y}) out of bounds for {}",
             self.resolution
         );
-        self.pixels[self.index(x, y)]
+        self.pixels.get(self.index(x, y)).copied().unwrap_or(Pixel::BLACK)
     }
 
     /// Writes the pixel at `(x, y)` (quantized to the buffer format) and
@@ -186,7 +186,9 @@ impl FrameBuffer {
         );
         let i = self.index(x, y);
         let q = self.format.quantize(p);
-        self.pixels[i] = q;
+        if let Some(slot) = self.pixels.get_mut(i) {
+            *slot = q;
+        }
         self.mark(Rect::new(x, y, 1, 1), Some(q));
     }
 
@@ -206,7 +208,9 @@ impl FrameBuffer {
         if let Some(r) = clipped {
             for y in r.y..r.bottom() {
                 let row = self.index(r.x, y);
-                self.pixels[row..row + r.width as usize].fill(q);
+                if let Some(seg) = self.pixels.get_mut(row..row + r.width as usize) {
+                    seg.fill(q);
+                }
             }
         }
         self.mark(clipped.unwrap_or_default(), Some(q));
@@ -249,8 +253,13 @@ impl FrameBuffer {
             let w = r.width as usize;
             for y in r.y..r.bottom() {
                 let i = self.index(r.x, y);
-                let dst = &mut self.pixels[i..i + w];
-                let from = &src.pixels[i..i + w];
+                // Clipping keeps `i..i + w` inside both buffers (the
+                // resolutions match), so the lookups never miss.
+                let (Some(dst), Some(from)) =
+                    (self.pixels.get_mut(i..i + w), src.pixels.get(i..i + w))
+                else {
+                    continue;
+                };
                 if convert {
                     for (d, &s) in dst.iter_mut().zip(from) {
                         *d = format.quantize(s);
@@ -283,8 +292,12 @@ impl FrameBuffer {
             let w = r.width as usize;
             for y in r.y..r.bottom() {
                 let i = self.index(r.x, y);
-                let dst = &mut self.pixels[i..i + w];
-                let from = &src.pixels[i..i + w];
+                // Same bound as copy_rect_from: clipped to both buffers.
+                let (Some(dst), Some(from)) =
+                    (self.pixels.get_mut(i..i + w), src.pixels.get(i..i + w))
+                else {
+                    continue;
+                };
                 for (d, &s) in dst.iter_mut().zip(from) {
                     *d = format.quantize(s.over(*d));
                 }
@@ -307,7 +320,9 @@ impl FrameBuffer {
         }
         let q = self.format.quantize(fill);
         let start = ((h - dy) as usize) * w;
-        self.pixels[start..].fill(q);
+        if let Some(seg) = self.pixels.get_mut(start..) {
+            seg.fill(q);
+        }
         if dy >= h {
             // The whole screen is the fill colour: a provably solid write.
             self.mark(self.resolution.bounds(), Some(q));

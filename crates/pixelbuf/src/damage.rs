@@ -69,7 +69,9 @@ impl DamageRegion {
 
     /// The disjoint damaged rectangles, in no particular order.
     pub fn rects(&self) -> &[Rect] {
-        &self.rects[..self.len as usize]
+        // `len ≤ MAX_DAMAGE_RECTS` is a struct invariant, so the prefix
+        // lookup never misses.
+        self.rects.get(..self.len as usize).unwrap_or(&[])
     }
 
     /// Whether no pixels are damaged.
@@ -131,12 +133,14 @@ impl DamageRegion {
         // disjointness invariant (a union can newly overlap a third
         // rect, so loop to a fixed point).
         let mut merged = rect;
-        while let Some(i) = self
+        while let Some((i, r)) = self
             .rects()
             .iter()
-            .position(|r| r.intersection(merged).is_some())
+            .enumerate()
+            .find(|(_, r)| r.intersection(merged).is_some())
+            .map(|(i, &r)| (i, r))
         {
-            merged = merged.union(self.rects[i]);
+            merged = merged.union(r);
             self.remove(i);
         }
         if (self.len as usize) == MAX_DAMAGE_RECTS {
@@ -144,8 +148,11 @@ impl DamageRegion {
             merged = self.rects().iter().copied().fold(merged, Rect::union);
             self.len = 0;
         }
-        self.rects[self.len as usize] = merged;
-        self.len += 1;
+        // The collapse above guarantees `len < MAX_DAMAGE_RECTS` here.
+        if let Some(slot) = self.rects.get_mut(self.len as usize) {
+            *slot = merged;
+            self.len += 1;
+        }
     }
 
     /// Adds every rectangle of `other`.

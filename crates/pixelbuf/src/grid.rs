@@ -751,8 +751,7 @@ impl GridSampler {
                                 // ccdem-lint: allow(panic) — snapshot
                                 // length is checked against
                                 // sample_count() and gx0 + s1 ≤ cols.
-                                let snap =
-                                    &mut snapshot[snap_start..snap_start + (s1 - s0)];
+                                let snap = &mut snapshot[snap_start..snap_start + (s1 - s0)];
                                 if !differs && first.is_none_or(|(r, _)| gy - gy0 < r) {
                                     if let Some(k) = snap.iter().position(|&s| s != c) {
                                         first = Some((gy - gy0, s0 + k));
@@ -768,6 +767,8 @@ impl GridSampler {
                             tiles_descended += seg_tiles;
                             // Unknown content: descend to the row-window
                             // pixel path over this segment's columns.
+                            // ccdem-lint: allow(panic) — s0 < s1 ≤
+                            // n_cols = xs.len() (segment bounds).
                             let seg_xs = &xs[s0..s1];
                             let (Some(&first_x), Some(&last_x)) =
                                 (seg_xs.first(), seg_xs.last())
@@ -786,8 +787,7 @@ impl GridSampler {
                                 let snap_start = gy * cols + gx0 + s0;
                                 // ccdem-lint: allow(panic) — see the
                                 // solid-segment bound above.
-                                let snap =
-                                    &mut snapshot[snap_start..snap_start + seg_xs.len()];
+                                let snap = &mut snapshot[snap_start..snap_start + seg_xs.len()];
                                 points_read += seg_xs.len();
                                 let live =
                                     !differs && first.is_none_or(|(r, _)| gy - gy0 < r);

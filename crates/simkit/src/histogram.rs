@@ -101,7 +101,9 @@ impl Histogram {
             let idx = ((value - self.lo) / width) as usize;
             // Guard the hi-boundary rounding case.
             let idx = idx.min(self.bins.len() - 1);
-            self.bins[idx] += 1;
+            if let Some(bin) = self.bins.get_mut(idx) {
+                *bin += 1;
+            }
         }
     }
 
@@ -111,7 +113,8 @@ impl Histogram {
     ///
     /// Panics if `i` is out of range.
     pub fn bin_count(&self, i: usize) -> u64 {
-        self.bins[i]
+        assert!(i < self.bins.len(), "bin {i} out of range");
+        self.bins.get(i).copied().unwrap_or(0)
     }
 
     /// The `[lo, hi)` value range of bin `i`.

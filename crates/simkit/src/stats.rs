@@ -166,12 +166,15 @@ pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
     let frac = pos - lo as f64;
-    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    let (Some(&a), Some(&b)) = (sorted.get(lo), sorted.get(hi)) else {
+        return None;
+    };
+    Some(a * (1.0 - frac) + b * frac)
 }
 
 /// A compact mean-and-spread summary of a batch of samples.

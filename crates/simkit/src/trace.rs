@@ -129,6 +129,9 @@ impl Trace {
 
     /// All sample values, discarding timestamps.
     pub fn values(&self) -> Vec<f64> {
+        // ccdem-lint: allow(alloc-hot-path) — report-path helper, never
+        // called per frame; the call graph only reaches it through the
+        // name collision with `BTreeMap::values` (over-approximation).
         self.samples.iter().map(|&(_, v)| v).collect()
     }
 

@@ -50,7 +50,27 @@ scripts/bench.sh --compare BENCH_PR3.json BENCH_PR5.json
 scripts/bench.sh --compare BENCH_PR6.json BENCH_PR7.json
 scripts/bench.sh --compare BENCH_PR7.json BENCH_PR8.json
 # Workspace static analysis (hard gate): determinism, panic-policy,
-# obs-taxonomy, and section-table invariants — see DESIGN.md §10.
-cargo run --release -q --bin ccdem -- lint --json
+# alloc-hot-path, arith-cast, atomics-ordering, obs-taxonomy, and
+# section-table invariants — see DESIGN.md §10. `--stats` prints
+# machine-parseable lines we gate on below.
+cargo run --release -q --bin ccdem -- lint --json --stats | tee target/lint_stats.txt
+# The analyzer must stay interactive: whole-workspace call graph plus
+# all families in under 5 s wall.
+lint_wall_ms=$(awk '/^stats wall_ms /{print $3}' target/lint_stats.txt)
+test -n "$lint_wall_ms"
+test "$lint_wall_ms" -lt 5000 || {
+    echo "ci: lint took ${lint_wall_ms} ms (budget 5000 ms)" >&2
+    exit 1
+}
+# The lint.allow ratchet only turns one way: the committed budget total
+# must never grow relative to the baseline at HEAD.
+lint_budget=$(awk '/^stats baseline_total /{print $3}' target/lint_stats.txt)
+head_budget=$(git show HEAD:lint.allow 2>/dev/null \
+    | awk '!/^#/ && NF == 3 {sum += $3} END {print sum + 0}')
+if [ -n "$lint_budget" ] && [ "$lint_budget" -gt "$head_budget" ] \
+    && [ "$head_budget" -gt 0 ]; then
+    echo "ci: lint.allow budget grew ${head_budget} -> ${lint_budget}" >&2
+    exit 1
+fi
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

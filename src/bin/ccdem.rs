@@ -17,7 +17,7 @@
 //!                [--checkpoint <file.json> [--checkpoint-every <batches>]
 //!                 [--stop-after <checkpoints>]] [--resume <file.json>]
 //!                [--trace <file.jsonl>] [--replay-device <k>]
-//! ccdem lint     [--json] [--fix-baseline]
+//! ccdem lint     [--json] [--fix-baseline] [--stats]
 //! ```
 //!
 //! `simulate` runs one app under one policy against its fixed-60 Hz
@@ -119,10 +119,11 @@ fn print_usage() {
          budgets and write BENCH_PR7.json; --check validates an\n                                \
          existing report (plus the speedup gate when --baseline\n                                \
          is given); --compare prints a baseline-vs-new delta table\n  \
-         lint [--json] [--fix-baseline]\n                                \
+         lint [--json] [--fix-baseline] [--stats]\n                                \
          run the workspace static-analysis pass (DESIGN.md \u{a7}10);\n                                \
          --json emits obs-envelope JSON lines, --fix-baseline\n                                \
-         rewrites lint.allow to the current findings\n\n\
+         rewrites lint.allow to the current findings, --stats\n                                \
+         prints per-family counts, call-graph size and wall time\n\n\
          every command accepts --quiet/-q to silence progress output\n\n\
          see also: cargo run --release --example paper_report -- all"
     );
@@ -243,7 +244,7 @@ fn cmd_catalog(args: &[String]) -> ExitCode {
 }
 
 fn cmd_lint(args: &[String]) -> ExitCode {
-    let flags = parse_or_fail!(args, &[], &["--json", "--fix-baseline"]);
+    let flags = parse_or_fail!(args, &[], &["--json", "--fix-baseline", "--stats"]);
     let cwd = match std::env::current_dir() {
         Ok(cwd) => cwd,
         Err(err) => {
@@ -257,13 +258,26 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     };
     let mut options = ccdem::lint::LintOptions::new(root);
     options.fix_baseline = flags.switch("--fix-baseline");
+    let started = std::time::Instant::now();
     match ccdem::lint::run(&options) {
         Ok(report) => {
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
             for d in &report.reported {
                 if flags.switch("--json") {
                     println!("{}", d.to_json());
                 } else {
                     println!("{}", d.render());
+                }
+            }
+            if flags.switch("--stats") {
+                let s = &report.stats;
+                println!("stats files_scanned {}", report.files_scanned);
+                println!("stats functions {}", s.fn_count);
+                println!("stats reachable_fns {}", s.reachable_fns);
+                println!("stats baseline_total {}", s.baseline_total);
+                println!("stats wall_ms {}", wall_ms.round() as u64);
+                for (id, count) in &s.family_counts {
+                    println!("stats family {} {}", id, count);
                 }
             }
             progress!(
